@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches: one cached MIMO
+ * design per knob space, standard run helpers, and table printing.
+ * Every bench prints the series the paper's figure reports and writes
+ * the same rows as CSV next to the binary.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/design_flow.hpp"
+#include "core/harness.hpp"
+#include "core/heuristic_search.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace mimoarch::bench {
+
+/** Bench-wide experiment configuration (reduced sysid for runtime). */
+inline ExperimentConfig
+benchConfig()
+{
+    ExperimentConfig cfg;
+    cfg.sysidEpochsPerApp = 800;
+    cfg.validationEpochsPerApp = 400;
+    return cfg;
+}
+
+/** Design the MIMO controller once per process and knob space. */
+inline const MimoDesignResult &
+cachedDesign(bool with_rob)
+{
+    const auto make = [](bool rob) {
+        KnobSpace knobs(rob);
+        MimoControllerDesign flow(knobs, benchConfig());
+        std::printf("# designing %d-input MIMO controller "
+                    "(system identification on the training set)...\n",
+                    rob ? 3 : 2);
+        return flow.design(Spec2006Suite::trainingSet(),
+                           Spec2006Suite::validationSet());
+    };
+    if (with_rob) {
+        static const MimoDesignResult cache3 = make(true);
+        return cache3;
+    }
+    static const MimoDesignResult cache2 = make(false);
+    return cache2;
+}
+
+/** The paper's initial condition for tracking runs: 20%/30% off. */
+inline KnobSettings
+offTargetStart()
+{
+    KnobSettings s;
+    s.freqLevel = 3;
+    s.cacheSetting = 1;
+    return s;
+}
+
+/** Table III's best-static baseline configuration. */
+inline KnobSettings
+baselineSettings()
+{
+    KnobSettings s;
+    s.freqLevel = 8;    // 1.3 GHz
+    s.cacheSetting = 2; // (6,3) associativity
+    s.robPartitions = 3; // 48 entries (E x D optimum)
+    return s;
+}
+
+/** Print a header naming the experiment. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/** Names of the 23 production apps in the paper's figure order. */
+inline std::vector<std::string>
+figureAppOrder()
+{
+    return {"astar",   "bzip2",   "gcc",      "hmmer",  "h264ref",
+            "libquantum", "mcf",  "omnetpp",  "perlbench", "Xalan",
+            "bwaves",  "cactusADM", "dealII", "gamess", "gromacs",
+            "GemsFDTD", "lbm",    "milc",     "povray", "soplex",
+            "sphinx3", "tonto",   "wrf"};
+}
+
+} // namespace mimoarch::bench

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig. 6 / Table V reproduction: the impact of input and output weight
+ * choices on convergence and tracking, for namd, tracking the (IPS,
+ * power) reference from initial conditions ~20%/30% off.
+ *
+ * Table V's weight sets are expressed relative to this substrate's
+ * calibrated operating point (Table III ratios x inputWeightScale; see
+ * DESIGN.md §5) so that the *relationships* the figure tests are
+ * preserved:
+ *   Equal  — inputs weighted like outputs (100x heavier than the
+ *            calibrated point): the controller barely moves the knobs
+ *            and never converges to the targets.
+ *   Inputs — input weights lowered to the calibrated point, but both
+ *            outputs weighted equally: converges, larger errors.
+ *   Power  — power weighted 1000:1 over IPS (Table III): power error
+ *            drops, convergence is faster.
+ *   Size   — like Power with a 10x lower cache-size weight: the cache
+ *            settles fastest, output errors unchanged.
+ */
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace mimoarch;
+using namespace mimoarch::bench;
+
+namespace {
+
+struct WeightSet
+{
+    const char *label;
+    double inputMult;  //!< On the calibrated input weights.
+    double cacheMult;  //!< Extra factor on the cache weight.
+    double powerOverIps; //!< Output priority ratio.
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 6: weight sensitivity (namd, track IPS/power refs)");
+    const ExperimentConfig cfg = benchConfig();
+    const MimoDesignResult &design = cachedDesign(false);
+    KnobSpace knobs(false);
+
+    const std::vector<WeightSet> sets = {
+        {"Equal", 100.0, 1.0, 1.0},
+        {"Inputs", 1.0, 1.0, 1.0},
+        {"Power", 1.0, 1.0, 1000.0},
+        {"Size", 1.0, 0.1, 1000.0},
+    };
+
+    CsvTable table({"weights", "steady_epoch_freq", "steady_epoch_cache",
+                    "avg_ips_err_pct", "avg_power_err_pct"});
+    std::printf("%-8s %12s %13s %12s %12s   (-1 = not converged)\n",
+                "weights", "steadyFreq", "steadyCache", "IPSerr(%)",
+                "Perr(%)");
+
+    for (const WeightSet &ws : sets) {
+        LqgWeights w = design.weights;
+        w.outputWeights = {cfg.ipsWeight,
+                           cfg.ipsWeight * ws.powerOverIps};
+        w.inputWeights[0] = cfg.freqWeight * cfg.inputWeightScale *
+            ws.inputMult;
+        w.inputWeights[1] = cfg.cacheWeight * cfg.inputWeightScale *
+            ws.inputMult * ws.cacheMult;
+        MimoArchController ctrl(design.model, w, knobs);
+        ctrl.setReference(cfg.ipsReference, cfg.powerReference);
+
+        SimPlant plant(Spec2006Suite::byName("namd"), knobs);
+        DriverConfig dcfg;
+        dcfg.epochs = 2500;
+        dcfg.errorSkipEpochs = 300;
+        EpochDriver driver(plant, ctrl, dcfg);
+        RunSummary sum = driver.run(offTargetStart());
+
+        // "Steady state" means settling *at the targets*: a controller
+        // frozen at its initial conditions has stable knobs but has not
+        // converged (the paper's Equal datapoint is missing for this
+        // reason).
+        const EpochTrace &tr = driver.trace();
+        double late_err = 0.0;
+        const size_t tail = 400;
+        for (size_t t = tr.ips.size() - tail; t < tr.ips.size(); ++t) {
+            late_err += std::abs(tr.ips[t] - cfg.ipsReference) /
+                cfg.ipsReference;
+            late_err += std::abs(tr.power[t] - cfg.powerReference) /
+                cfg.powerReference;
+        }
+        late_err /= 2.0 * tail;
+        if (late_err > 0.25) {
+            sum.steadyEpochFreq = -1;
+            sum.steadyEpochCache = -1;
+        }
+
+        std::printf("%-8s %12ld %13ld %12.1f %12.1f\n", ws.label,
+                    sum.steadyEpochFreq, sum.steadyEpochCache,
+                    sum.avgIpsErrorPct, sum.avgPowerErrorPct);
+        table.addRow({ws.label, std::to_string(sum.steadyEpochFreq),
+                      std::to_string(sum.steadyEpochCache),
+                      formatCell(sum.avgIpsErrorPct),
+                      formatCell(sum.avgPowerErrorPct)});
+    }
+    table.writeFile("fig06_weights.csv");
+    std::printf("# paper shape: Equal fails to converge; Power cuts the "
+                "power error; Size settles the cache fastest.\n");
+    return 0;
+}

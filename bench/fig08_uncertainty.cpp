@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 8 reproduction: time to steady state under the conservative
+ * (50% IPS / 30% power) vs aggressive (30% / 20%) uncertainty
+ * guardbands. Per §VIII-C, a smaller guardband admits smaller input
+ * weights through Robust Stability Analysis, making the controller
+ * faster; the bench searches for the smallest RSA-passing input-weight
+ * scale for each guardband pair and measures settling times.
+ */
+
+#include "bench_common.hpp"
+
+using namespace mimoarch;
+using namespace mimoarch::bench;
+
+namespace {
+
+/** Smallest input-weight scale (relative to Table III x calibration)
+ *  whose LQG design passes RSA for the given guardbands. */
+double
+minimalStableScale(const MimoDesignResult &design, const KnobSpace &knobs,
+                   const std::vector<double> &guardbands)
+{
+    // Full-block (unstructured) small-gain test: model errors on this
+    // plant couple the outputs jointly, so the conservative test is
+    // the honest one for sizing the aggressiveness of the design.
+    RobustStabilityAnalyzer rsa(150, /*structured=*/false);
+    const InputLimits limits{knobs.lowerLimits(), knobs.upperLimits()};
+    const std::vector<double> w_scaled =
+        MimoControllerDesign::scaledGuardbands(design.model, guardbands);
+    double scale = 1.0 / 16384.0;
+    for (int i = 0; i < 20; ++i, scale *= 2.0) {
+        LqgWeights w = design.weights;
+        for (double &wi : w.inputWeights)
+            wi *= scale;
+        LqgServoController ctrl(design.model, w, limits);
+        const auto res =
+            rsa.analyze(design.model, ctrl.controllerRealization(),
+                        w_scaled);
+        if (res.ok())
+            return scale;
+    }
+    return scale;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 8: steady-state time, high vs low uncertainty guardband");
+    const ExperimentConfig cfg = benchConfig();
+    const MimoDesignResult &design = cachedDesign(false);
+    KnobSpace knobs(false);
+
+    struct Variant
+    {
+        const char *label;
+        std::vector<double> guardbands;
+    };
+    const std::vector<Variant> variants = {
+        {"High (50%/30%)", {0.50, 0.30}},
+        {"Low (30%/20%)", {0.30, 0.20}},
+    };
+    const std::vector<std::string> apps = {"namd", "gamess", "astar",
+                                           "sphinx3", "wrf", "milc"};
+
+    CsvTable table({"guardband", "app", "steady_epoch_freq",
+                    "steady_epoch_cache", "weight_scale"});
+    std::printf("%-16s %-10s %12s %13s %12s\n", "guardband", "app",
+                "steadyFreq", "steadyCache", "weightScale");
+
+    for (const Variant &v : variants) {
+        const double scale = minimalStableScale(design, knobs,
+                                                v.guardbands);
+        LqgWeights w = design.weights;
+        for (double &wi : w.inputWeights)
+            wi *= scale;
+        MimoArchController ctrl(design.model, w, knobs);
+        ctrl.setReference(cfg.ipsReference, cfg.powerReference);
+        for (const std::string &app : apps) {
+            SimPlant plant(Spec2006Suite::byName(app), knobs);
+            DriverConfig dcfg;
+            dcfg.epochs = 1800;
+            EpochDriver driver(plant, ctrl, dcfg);
+            const RunSummary sum = driver.run(offTargetStart());
+            std::printf("%-16s %-10s %12ld %13ld %12.3f\n", v.label,
+                        app.c_str(), sum.steadyEpochFreq,
+                        sum.steadyEpochCache, scale);
+            table.addRow({v.label, app,
+                          std::to_string(sum.steadyEpochFreq),
+                          std::to_string(sum.steadyEpochCache),
+                          formatCell(scale)});
+        }
+    }
+    table.writeFile("fig08_uncertainty.csv");
+    std::printf("# paper shape: the low-guardband (aggressive) design is "
+                "still stable and settles in fewer epochs.\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * §VI-C overhead reproduction (google-benchmark): the runtime cost of
+ * one controller invocation — a handful of small matrix-vector products
+ * — and of the supporting machinery (quantization, Kalman update,
+ * optimizer bookkeeping). The paper argues the controller is cheap
+ * enough for hardware or a 50 us software epoch; these numbers show the
+ * full software step costs well under a microsecond.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "control/lqg.hpp"
+#include "core/controllers.hpp"
+#include "core/optimizer.hpp"
+#include "linalg/riccati.hpp"
+
+namespace mimoarch {
+namespace {
+
+StateSpaceModel
+dim4Model()
+{
+    // A representative identified model: dimension 4, 2 inputs/outputs.
+    StateSpaceModel m;
+    m.a = Matrix{{0.55, 0.2, 0.1, 0.0},
+                 {0.1, 0.5, 0.0, 0.1},
+                 {0.05, 0.0, 0.4, 0.1},
+                 {0.0, 0.05, 0.1, 0.35}};
+    m.b = Matrix{{0.4, 0.1}, {0.2, 0.3}, {0.1, 0.05}, {0.05, 0.1}};
+    m.c = Matrix{{1.0, 0.0, 0.2, 0.1}, {0.0, 1.0, 0.1, 0.2}};
+    m.d = Matrix{{0.1, 0.02}, {0.15, 0.01}};
+    m.qn = Matrix::identity(4) * 1e-3;
+    m.rn = Matrix::identity(2) * 1e-2;
+    m.inputScaling = SignalScaling::identity(2);
+    m.outputScaling = SignalScaling::identity(2);
+    return m;
+}
+
+LqgServoController
+makeController()
+{
+    LqgWeights w;
+    w.outputWeights = {10.0, 10000.0};
+    w.inputWeights = {1000.0, 50.0};
+    InputLimits lim;
+    lim.lo = {0.5, 1.0};
+    lim.hi = {2.0, 4.0};
+    return LqgServoController(dim4Model(), w, lim);
+}
+
+void
+BM_LqgControllerStep(benchmark::State &state)
+{
+    LqgServoController ctrl = makeController();
+    ctrl.setReference(Matrix::vector({2.0, 2.0}));
+    Matrix y = Matrix::vector({1.8, 1.9});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctrl.step(y));
+    }
+}
+BENCHMARK(BM_LqgControllerStep);
+
+void
+BM_MimoControllerUpdate(benchmark::State &state)
+{
+    KnobSpace knobs(false);
+    LqgWeights w;
+    w.outputWeights = {10.0, 10000.0};
+    w.inputWeights = {1000.0, 50.0};
+    MimoArchController ctrl(dim4Model(), w, knobs);
+    Observation obs;
+    obs.y = Matrix::vector({1.8, 1.9});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctrl.update(obs));
+    }
+}
+BENCHMARK(BM_MimoControllerUpdate);
+
+void
+BM_OptimizerObserve(benchmark::State &state)
+{
+    KnobSpace knobs(false);
+    LqgWeights w;
+    w.outputWeights = {10.0, 10000.0};
+    w.inputWeights = {1000.0, 50.0};
+    MimoArchController ctrl(dim4Model(), w, knobs);
+    Optimizer opt(ctrl, OptimizerConfig{});
+    Matrix y = Matrix::vector({1.8, 1.9});
+    opt.startSearch(y);
+    for (auto _ : state) {
+        opt.observe(y);
+        if (!opt.searching())
+            opt.startSearch(y);
+    }
+}
+BENCHMARK(BM_OptimizerObserve);
+
+void
+BM_LqgDesign(benchmark::State &state)
+{
+    // Offline cost: the full DARE-based design (done once per model).
+    for (auto _ : state) {
+        LqgServoController ctrl = makeController();
+        benchmark::DoNotOptimize(&ctrl);
+    }
+}
+BENCHMARK(BM_LqgDesign);
+
+void
+BM_DareSolve4x4(benchmark::State &state)
+{
+    const StateSpaceModel m = dim4Model();
+    const Matrix q = Matrix::identity(4);
+    const Matrix r = Matrix::identity(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solveDare(m.a, m.b, q, r));
+    }
+}
+BENCHMARK(BM_DareSolve4x4);
+
+} // namespace
+} // namespace mimoarch
+
+BENCHMARK_MAIN();

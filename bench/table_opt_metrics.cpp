@@ -1,0 +1,82 @@
+/**
+ * @file
+ * §VIII-F text-results reproduction: optimizing E (k=1) and E x D^2
+ * (k=3) with the two-input system. The paper: MIMO/Heuristic/Decoupled
+ * reduce E by 9%/1%/0% and E x D^2 by 18%/7%/4% over Baseline, with the
+ * MIMO and Decoupled controllers unmodified across metrics (only the
+ * exponent k changes) while the Heuristic must be redesigned.
+ */
+
+#include "bench_common.hpp"
+
+using namespace mimoarch;
+using namespace mimoarch::bench;
+
+int
+main()
+{
+    banner("Table (VIII-F): optimizing E and E x D^2 (2 inputs)");
+    const ExperimentConfig cfg = benchConfig();
+    const MimoDesignResult &design = cachedDesign(false);
+    KnobSpace knobs(false);
+    MimoControllerDesign flow(knobs, cfg);
+
+    auto mimo = flow.buildController(design);
+    auto [c2i, f2p] = flow.identifySisoModels(Spec2006Suite::trainingSet());
+    auto decoupled = flow.buildDecoupled(c2i, f2p);
+
+    CsvTable table({"metric", "mimo", "heuristic", "decoupled"});
+    std::printf("%-8s %10s %10s %10s   (avg normalized to Baseline)\n",
+                "metric", "MIMO", "Heuristic", "Decoupled");
+
+    const size_t epochs = 2000;
+    for (unsigned k : {1u, 3u}) {
+        // The heuristic search is re-instantiated per metric — the
+        // paper's point about redesign; MIMO/Decoupled only get a new
+        // exponent.
+        HeuristicSearchConfig hcfg;
+        hcfg.metricExponent = k;
+        HeuristicSearchController heuristic(knobs, hcfg);
+
+        double sums[3] = {0, 0, 0};
+        int n = 0;
+        // Representative subset (memory-bound, cache-sensitive, and
+        // compute-bound apps) to keep the two-metric sweep within a
+        // few minutes; run over figureAppOrder() for the full set.
+        const std::vector<std::string> apps = {
+            "namd", "gamess", "astar", "milc",    "povray",
+            "mcf",  "dealII", "hmmer", "lbm",     "sphinx3"};
+        for (const std::string &name : apps) {
+            const AppSpec &app = Spec2006Suite::byName(name);
+            SimPlant pb(app, knobs);
+            FixedController fixed(baselineSettings());
+            DriverConfig bcfg;
+            bcfg.epochs = epochs;
+            EpochDriver bd(pb, fixed, bcfg);
+            const double base = bd.run(baselineSettings()).exdMetric(k);
+
+            ArchController *ctrls[3] = {mimo.get(), &heuristic,
+                                        decoupled.get()};
+            for (int a = 0; a < 3; ++a) {
+                SimPlant plant(app, knobs);
+                DriverConfig dcfg;
+                dcfg.epochs = epochs;
+                dcfg.useOptimizer = a != 1;
+                dcfg.optimizer.metricExponent = k;
+                EpochDriver driver(plant, *ctrls[a], dcfg);
+                sums[a] += driver.run(baselineSettings()).exdMetric(k) /
+                    base;
+            }
+            ++n;
+        }
+        const char *label = k == 1 ? "E" : "ExD^2";
+        std::printf("%-8s %10.3f %10.3f %10.3f\n", label, sums[0] / n,
+                    sums[1] / n, sums[2] / n);
+        table.addRow({label, formatCell(sums[0] / n),
+                      formatCell(sums[1] / n), formatCell(sums[2] / n)});
+    }
+    table.writeFile("table_opt_metrics.csv");
+    std::printf("# paper: E reduced 9%%/1%%/0%% and ExD^2 reduced "
+                "18%%/7%%/4%% by MIMO/Heuristic/Decoupled.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+std::string
+formatCell(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    if (columns_.empty())
+        fatal("CsvTable needs at least one column");
+}
+
+void
+CsvTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != columns_.size()) {
+        fatal("CsvTable row has ", cells.size(), " cells, expected ",
+              columns_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+CsvTable::addRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double v : cells)
+        formatted.push_back(formatCell(v));
+    addRow(std::move(formatted));
+}
+
+std::string
+CsvTable::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < columns_.size(); ++i)
+        os << (i ? "," : "") << columns_[i];
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << row[i];
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+CsvTable::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open ", path, " for writing");
+    out << toString();
+    if (!out)
+        fatal("write to ", path, " failed");
+}
+
+} // namespace mimoarch

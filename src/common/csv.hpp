@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal CSV table writer used by the bench harnesses to dump the series
+ * behind each reproduced figure.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mimoarch {
+
+/** Accumulates rows of named columns and writes them as CSV. */
+class CsvTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit CsvTable(std::vector<std::string> columns);
+
+    /** Append one row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: append a row of doubles formatted with %.6g. */
+    void addRow(const std::vector<double> &cells);
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render the whole table as a CSV string (header first). */
+    std::string toString() const;
+
+    /** Write the table to @p path; fatal() on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double like the bench tables do (six significant digits). */
+std::string formatCell(double value);
+
+} // namespace mimoarch

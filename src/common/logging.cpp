@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mimoarch {
+
+namespace {
+LogLevel g_level = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+fatalImpl(const char *, int, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panicImpl(const char *, int, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level != LogLevel::Quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_level != LogLevel::Quiet)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace mimoarch

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The LQG servo controller — the paper's MIMO controller (§III-A).
+ *
+ * Cost function (the paper's formulation): the controller minimizes the
+ * weighted sum of squared tracking errors (output-deviation cost Q) and
+ * squared input *changes* (control-effort cost R) — "the controller
+ * minimizes input changes to avoid quick jerks from steady state".
+ *
+ * Construction: the plant model is augmented with (a) the previous input
+ * u(t-1) so the LQR input is the increment Delta-u, and (b) an output
+ * error integrator for offset-free tracking under model mismatch. The
+ * LQR gain comes from a DARE on the augmented system; the state estimate
+ * comes from a steady-state Kalman filter designed on the identified
+ * noise (unpredictability) covariances — estimation and input generation
+ * run simultaneously, exactly as described in the paper.
+ *
+ * All runtime work is a handful of matrix-vector products (the paper's
+ * overhead argument: "four floating-point vector-matrix multiplies,
+ * fewer than 100 stored floats" for the 2-input example).
+ */
+
+#pragma once
+
+#include <optional>
+
+#include "control/statespace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Designer-chosen weights (Table II / Table III semantics). */
+struct LqgWeights
+{
+    /** Tracking-error cost per output (physical units), diagonal. */
+    std::vector<double> outputWeights;
+    /** Control-effort cost per input (physical units), diagonal. */
+    std::vector<double> inputWeights;
+    /** Integral-action strength as a fraction of the output weights. */
+    double integralFraction = 0.05;
+    /** Small absolute-input-deviation cost (keeps the DARE detectable). */
+    double inputHoldFraction = 0.01;
+};
+
+/** Static design result, exposed for analysis and tests. */
+struct LqgDesign
+{
+    Matrix kx; //!< Gain on the state estimate deviation.
+    Matrix ku; //!< Gain on the previous-input deviation.
+    Matrix kz; //!< Gain on the error integrator.
+    Matrix kzPinv; //!< Pseudo-inverse of kz (anti-windup back-calc).
+    Matrix kalmanGain; //!< Steady-state estimator gain L.
+    double dareResidual = 0.0;
+};
+
+/** Saturation limits per input, in physical units. */
+struct InputLimits
+{
+    std::vector<double> lo;
+    std::vector<double> hi;
+};
+
+/**
+ * The runtime LQG servo controller. Works entirely in the model's scaled
+ * coordinates; callers pass physical readings and receive physical input
+ * commands.
+ */
+class LqgServoController
+{
+  public:
+    /**
+     * Design the controller for @p model with @p weights.
+     * @param limits physical saturation bounds per input.
+     * fatal()s if the DARE has no stabilizing solution (the paper's
+     * design loop would then change weights and retry — see
+     * MimoControllerDesign).
+     */
+    LqgServoController(const StateSpaceModel &model,
+                       const LqgWeights &weights,
+                       const InputLimits &limits);
+
+    /** Set the output reference values (physical units, O x 1). */
+    void setReference(const Matrix &y0_physical);
+
+    /** Current reference (physical units). */
+    const Matrix &reference() const { return y0Physical_; }
+
+    /**
+     * One control step: observe @p y (physical O x 1), produce the next
+     * input command (physical I x 1, saturated but not quantized).
+     */
+    Matrix step(const Matrix &y_physical);
+
+    /** Reset the estimator/integrator, keeping the design. */
+    void reset(const Matrix &u_initial_physical);
+
+    /**
+     * Supervisory escape threshold: when the command has been pinned
+     * at a saturation rail for this many consecutive steps while the
+     * tracking error stays large, the estimator and integrator are
+     * re-initialized. Saturation freezes the integrator, so a badly
+     * initialized transient can otherwise lock the loop into a wrong
+     * corner of the discrete input space. 0 disables the watchdog.
+     */
+    void setSaturationWatchdog(unsigned steps) { watchdogSteps_ = steps; }
+
+    /** Static design artifacts. */
+    const LqgDesign &design() const { return design_; }
+
+    /** The model the controller was designed for. */
+    const StateSpaceModel &model() const { return model_; }
+
+    /**
+     * Controller as a state-space system from measurement y to command
+     * u around zero reference (scaled coordinates) — used for robust
+     * stability analysis. State is [x_hat; u_prev; z].
+     */
+    StateSpaceModel controllerRealization() const;
+
+    /** Number of stored floating-point coefficients (overhead claim). */
+    size_t storedFloats() const;
+
+  private:
+    void computeTargets();
+
+    StateSpaceModel model_;
+    LqgWeights weights_;
+    InputLimits limits_;
+    LqgDesign design_;
+
+    // Targets (scaled coordinates).
+    Matrix y0Physical_;
+    Matrix y0Scaled_;
+    Matrix xSs_;
+    Matrix uSs_;
+
+    // Runtime state (scaled coordinates).
+    Matrix xHat_;
+    Matrix uPrev_;
+    Matrix zInt_;
+    unsigned watchdogSteps_ = 100;
+    unsigned satStreak_ = 0;
+};
+
+} // namespace mimoarch

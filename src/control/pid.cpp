@@ -1,0 +1,44 @@
+#include "control/pid.hpp"
+
+#include <algorithm>
+
+namespace mimoarch {
+
+PidController::PidController(const PidConfig &config) : config_(config)
+{
+    if (config_.outputLo >= config_.outputHi)
+        fatal("PID output range is empty");
+    if (config_.derivativeFilter < 0 || config_.derivativeFilter >= 1)
+        fatal("PID derivative filter must be in [0, 1)");
+}
+
+void
+PidController::reset()
+{
+    integral_ = 0.0;
+    prevError_ = 0.0;
+    derivState_ = 0.0;
+    first_ = true;
+}
+
+double
+PidController::step(double y)
+{
+    const double error = reference_ - y;
+    const double deriv_raw = first_ ? 0.0 : error - prevError_;
+    derivState_ = config_.derivativeFilter * derivState_ +
+        (1.0 - config_.derivativeFilter) * deriv_raw;
+    first_ = false;
+    prevError_ = error;
+
+    const double unclamped = config_.kp * error +
+        config_.ki * (integral_ + error) + config_.kd * derivState_;
+    const double out = std::clamp(unclamped, config_.outputLo,
+                                  config_.outputHi);
+    // Anti-windup: only accumulate when not pushing past the limit.
+    if (out == unclamped)
+        integral_ += error;
+    return out;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Discrete PID controller with anti-windup — used as the classic SISO
+ * building block (the Decoupled architecture can use either PID or SISO
+ * LQG sub-controllers; Intel Skylake's energy manager uses a SISO PID,
+ * paper §IX).
+ */
+
+#pragma once
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+/** PID gains and output range. */
+struct PidConfig
+{
+    double kp = 0.5;
+    double ki = 0.1;
+    double kd = 0.0;
+    double outputLo = 0.0;
+    double outputHi = 1.0;
+    /** Derivative low-pass coefficient in [0,1); 0 = unfiltered. */
+    double derivativeFilter = 0.5;
+};
+
+/** Textbook positional PID with clamped integrator. */
+class PidController
+{
+  public:
+    explicit PidController(const PidConfig &config);
+
+    /** Set the target for the controlled output. */
+    void setReference(double reference) { reference_ = reference; }
+
+    double reference() const { return reference_; }
+
+    /** One step: observe @p y, produce the saturated actuation. */
+    double step(double y);
+
+    /** Clear the integrator and derivative memory. */
+    void reset();
+
+  private:
+    PidConfig config_;
+    double reference_ = 0.0;
+    double integral_ = 0.0;
+    double prevError_ = 0.0;
+    double derivState_ = 0.0;
+    bool first_ = true;
+};
+
+} // namespace mimoarch

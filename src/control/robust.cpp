@@ -1,0 +1,134 @@
+#include "control/robust.hpp"
+
+#include <cmath>
+
+#include "linalg/eig.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/svd.hpp"
+
+namespace mimoarch {
+
+RobustStabilityAnalyzer::RobustStabilityAnalyzer(size_t grid_points,
+                                                 bool structured)
+    : gridPoints_(grid_points), structured_(structured)
+{
+    if (grid_points < 8)
+        fatal("robust stability analysis needs a denser frequency grid");
+}
+
+double
+RobustStabilityAnalyzer::scaledGain(const CMatrix &m) const
+{
+    if (!structured_ || m.rows() != m.cols())
+        return maxSingularValue(m);
+    const size_t p = m.rows();
+    // Coordinate descent over positive diagonal scalings D: for each
+    // channel, golden-section search on log d_i. Small p (2-3) makes
+    // this cheap and near-optimal.
+    std::vector<double> d(p, 1.0);
+    const auto gain_with = [&](const std::vector<double> &dv) {
+        CMatrix scaled(p, p);
+        for (size_t r = 0; r < p; ++r)
+            for (size_t c = 0; c < p; ++c)
+                scaled(r, c) = m(r, c) * (dv[r] / dv[c]);
+        return maxSingularValue(scaled);
+    };
+    double best = gain_with(d);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        for (size_t i = 1; i < p; ++i) { // d[0] fixed at 1 (gauge)
+            double lo = -3.0, hi = 3.0;  // log10 range
+            for (int it = 0; it < 24; ++it) {
+                const double m1 = lo + (hi - lo) / 3.0;
+                const double m2 = hi - (hi - lo) / 3.0;
+                std::vector<double> d1 = d, d2 = d;
+                d1[i] = std::pow(10.0, m1);
+                d2[i] = std::pow(10.0, m2);
+                if (gain_with(d1) < gain_with(d2))
+                    hi = m2;
+                else
+                    lo = m1;
+            }
+            d[i] = std::pow(10.0, (lo + hi) / 2.0);
+            best = std::min(best, gain_with(d));
+        }
+    }
+    return best;
+}
+
+Matrix
+RobustStabilityAnalyzer::closedLoopA(const StateSpaceModel &plant,
+                                     const StateSpaceModel &controller)
+{
+    plant.validate();
+    controller.validate();
+    if (controller.numInputs() != plant.numOutputs() ||
+        controller.numOutputs() != plant.numInputs()) {
+        panic("closedLoopA: plant/controller dimensions do not match");
+    }
+    if (controller.d.maxAbs() != 0.0)
+        panic("closedLoopA: controller must be strictly proper");
+
+    const size_t np = plant.stateDim();
+    const size_t nc = controller.stateDim();
+    // u = Cc xc; y = Cp xp + Dp u.
+    Matrix a_cl(np + nc, np + nc);
+    a_cl.setBlock(0, 0, plant.a);
+    a_cl.setBlock(0, np, plant.b * controller.c);
+    a_cl.setBlock(np, 0, controller.b * plant.c);
+    a_cl.setBlock(np, np,
+                  controller.a + controller.b * plant.d * controller.c);
+    return a_cl;
+}
+
+RobustStabilityResult
+RobustStabilityAnalyzer::analyze(
+    const StateSpaceModel &plant, const StateSpaceModel &controller,
+    const std::vector<double> &output_guardbands) const
+{
+    if (output_guardbands.size() != plant.numOutputs())
+        fatal("analyze: need one guardband per plant output");
+
+    RobustStabilityResult res;
+    const Matrix a_cl = closedLoopA(plant, controller);
+    res.nominalSpectralRadius = spectralRadius(a_cl);
+    res.nominallyStable = res.nominalSpectralRadius < 1.0;
+    if (!res.nominallyStable) {
+        res.robustlyStable = false;
+        return res;
+    }
+
+    const Matrix w = Matrix::diag(output_guardbands);
+    const size_t p = plant.numOutputs();
+
+    // Log-spaced normalized frequencies in (~1e-4, pi].
+    const double w_lo = 1e-4;
+    const double w_hi = 3.14159265358979323846;
+    for (size_t i = 0; i < gridPoints_; ++i) {
+        const double frac = static_cast<double>(i) /
+            static_cast<double>(gridPoints_ - 1);
+        const double omega = w_lo * std::pow(w_hi / w_lo, frac);
+        const std::complex<double> z = std::polar(1.0, omega);
+
+        const CMatrix g = plant.transferAt(z);
+        const CMatrix k = controller.transferAt(z);
+        const CMatrix l = g * k;
+        CMatrix i_minus_l(p, p);
+        for (size_t r2 = 0; r2 < p; ++r2)
+            for (size_t c2 = 0; c2 < p; ++c2)
+                i_minus_l(r2, c2) =
+                    (r2 == c2 ? std::complex<double>(1) :
+                                std::complex<double>(0)) - l(r2, c2);
+        // T_o = L (I - L)^-1; M = W T_o.
+        const CMatrix t_o = l * inverse(i_minus_l);
+        const CMatrix m = toComplex(w) * t_o;
+        const double gain = scaledGain(m);
+        if (gain > res.peakGain) {
+            res.peakGain = gain;
+            res.peakFreq = omega;
+        }
+    }
+    res.robustlyStable = res.peakGain < 1.0;
+    return res;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,240 @@
+#include "core/controllers.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+namespace {
+
+InputLimits
+limitsFor(const KnobSpace &knobs)
+{
+    InputLimits lim;
+    lim.lo = knobs.lowerLimits();
+    lim.hi = knobs.upperLimits();
+    return lim;
+}
+
+InputLimits
+scalarLimits(double lo, double hi)
+{
+    InputLimits lim;
+    lim.lo = {lo};
+    lim.hi = {hi};
+    return lim;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- MIMO
+
+MimoArchController::MimoArchController(const StateSpaceModel &model,
+                                       const LqgWeights &weights,
+                                       const KnobSpace &knobs)
+    : knobs_(knobs), lqg_(model, weights, limitsFor(knobs))
+{
+    if (model.numInputs() != knobs.numInputs())
+        fatal("MIMO controller: model has ", model.numInputs(),
+              " inputs but the knob space has ", knobs.numInputs());
+    if (model.numOutputs() != kNumPlantOutputs)
+        fatal("MIMO controller: expected 2 outputs (IPS, power)");
+}
+
+KnobSettings
+MimoArchController::update(const Observation &obs)
+{
+    const Matrix u = lqg_.step(obs.y);
+    last_ = knobs_.quantizeWithHysteresis(u, last_);
+    return last_;
+}
+
+void
+MimoArchController::setReference(double ips0, double power0)
+{
+    lqg_.setReference(Matrix::vector({ips0, power0}));
+}
+
+std::pair<double, double>
+MimoArchController::reference() const
+{
+    const Matrix &r = lqg_.reference();
+    return {r[kOutputIps], r[kOutputPower]};
+}
+
+void
+MimoArchController::initialize(const KnobSettings &initial)
+{
+    lqg_.reset(knobs_.toVector(initial));
+    last_ = initial;
+}
+
+// ----------------------------------------------------------- Decoupled
+
+DecoupledArchController::DecoupledArchController(
+    const StateSpaceModel &cache_to_ips,
+    const StateSpaceModel &freq_to_power,
+    const LqgWeights &cache_ips_weights,
+    const LqgWeights &freq_power_weights, const KnobSpace &knobs)
+    : knobs_(knobs),
+      cacheCtrl_(cache_to_ips, cache_ips_weights, scalarLimits(1.0, 4.0)),
+      freqCtrl_(freq_to_power, freq_power_weights,
+                scalarLimits(0.5, 2.0))
+{
+    if (knobs.hasRob())
+        fatal("Decoupled cannot drive 3 inputs with 2 outputs (§VIII-G)");
+}
+
+KnobSettings
+DecoupledArchController::update(const Observation &obs)
+{
+    // Each SISO loop sees only its own output; no coordination.
+    const Matrix ips = Matrix::vector({obs.y[kOutputIps]});
+    const Matrix power = Matrix::vector({obs.y[kOutputPower]});
+    const Matrix cache_cmd = cacheCtrl_.step(ips);
+    const Matrix freq_cmd = freqCtrl_.step(power);
+    Matrix u(2, 1);
+    u[0] = freq_cmd[0];
+    u[1] = cache_cmd[0];
+    current_ = knobs_.quantizeWithHysteresis(u, current_);
+    return current_;
+}
+
+void
+DecoupledArchController::setReference(double ips0, double power0)
+{
+    cacheCtrl_.setReference(Matrix::vector({ips0}));
+    freqCtrl_.setReference(Matrix::vector({power0}));
+}
+
+std::pair<double, double>
+DecoupledArchController::reference() const
+{
+    return {cacheCtrl_.reference()[0], freqCtrl_.reference()[0]};
+}
+
+void
+DecoupledArchController::initialize(const KnobSettings &initial)
+{
+    current_ = initial;
+    cacheCtrl_.reset(Matrix::vector(
+        {static_cast<double>(initial.cacheSetting + 1)}));
+    freqCtrl_.reset(Matrix::vector(
+        {DvfsController::freqAtLevel(initial.freqLevel)}));
+}
+
+// ----------------------------------------------------------- Heuristic
+
+HeuristicArchController::HeuristicArchController(const KnobSpace &knobs,
+                                                 const Tuning &tuning,
+                                                 double ips0,
+                                                 double power0)
+    : knobs_(knobs), tuning_(tuning), ips0_(ips0), power0_(power0)
+{
+    current_ = knobs.midrange();
+}
+
+void
+HeuristicArchController::setReference(double ips0, double power0)
+{
+    ips0_ = ips0;
+    power0_ = power0;
+}
+
+void
+HeuristicArchController::initialize(const KnobSettings &initial)
+{
+    current_ = initial;
+    sinceDecision_ = 0;
+}
+
+std::vector<HeuristicArchController::Feature>
+HeuristicArchController::rankFeatures(const Observation &obs) const
+{
+    // Ranking in the spirit of Isci et al. [8]: memory-bound phases are
+    // most sensitive to cache capacity; compute-bound phases to
+    // frequency. The ROB matters more when ILP is high (high IPC).
+    const bool memory_bound = obs.l2Mpki > tuning_.memoryBoundMpki;
+    std::vector<Feature> rank;
+    if (memory_bound) {
+        rank = {Feature::Cache, Feature::Frequency};
+        if (knobs_.hasRob())
+            rank.push_back(Feature::Rob);
+    } else {
+        rank = {Feature::Frequency};
+        if (knobs_.hasRob() && obs.ipc > 1.0)
+            rank.insert(rank.end(), {Feature::Rob, Feature::Cache});
+        else if (knobs_.hasRob())
+            rank.insert(rank.end(), {Feature::Cache, Feature::Rob});
+        else
+            rank.push_back(Feature::Cache);
+    }
+    return rank;
+}
+
+void
+HeuristicArchController::stepFeature(Feature f, int direction,
+                                     unsigned steps)
+{
+    const int d = direction * static_cast<int>(steps);
+    switch (f) {
+      case Feature::Frequency: {
+        const int lvl = static_cast<int>(current_.freqLevel) + d;
+        current_.freqLevel = static_cast<unsigned>(
+            std::clamp(lvl, 0, 15));
+        break;
+      }
+      case Feature::Cache: {
+        const int s = static_cast<int>(current_.cacheSetting) +
+            direction; // cache moves one setting at a time
+        current_.cacheSetting = static_cast<unsigned>(
+            std::clamp(s, 0, 3));
+        break;
+      }
+      case Feature::Rob: {
+        const int p = static_cast<int>(current_.robPartitions) + d;
+        current_.robPartitions = static_cast<unsigned>(
+            std::clamp(p, 1, 8));
+        break;
+      }
+    }
+}
+
+KnobSettings
+HeuristicArchController::update(const Observation &obs)
+{
+    if (++sinceDecision_ < tuning_.decisionPeriod)
+        return current_;
+    sinceDecision_ = 0;
+
+    const double p_err =
+        (obs.y[kOutputPower] - power0_) / std::max(power0_, 1e-9);
+    const double ips_err =
+        (ips0_ - obs.y[kOutputIps]) / std::max(ips0_, 1e-9);
+    const auto rank = rankFeatures(obs);
+    const unsigned big = 2;
+
+    // Power has priority (its violation is a budget overrun).
+    if (p_err > tuning_.powerTolerance) {
+        const unsigned steps =
+            p_err > tuning_.bigErrorCut ? big : 1;
+        // Reduce power with the feature ranked *least* important for
+        // performance right now (last in rank).
+        stepFeature(rank.back(), -1, steps);
+    } else if (ips_err > tuning_.ipsTolerance) {
+        // Underperforming: push the most impactful feature up, unless
+        // power headroom is gone.
+        if (p_err < 0.0) {
+            const unsigned steps =
+                ips_err > tuning_.bigErrorCut ? big : 1;
+            stepFeature(rank.front(), +1, steps);
+        }
+    } else if (ips_err < -tuning_.ipsTolerance) {
+        // Overperforming: shed resources to save power, cheapest first.
+        stepFeature(rank.back(), -1, 1);
+    }
+    return current_;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The architecture controllers compared in the paper (Table IV):
+ *
+ *   Baseline  — not configurable; fixed inputs chosen for the best
+ *               static output.
+ *   Heuristic — coordinated rule-based controller in the style of
+ *               Zhang & Hoffmann [41]: ranks the adaptive features by
+ *               expected impact (using memory-boundedness as in Isci et
+ *               al. [8]) and applies threshold-qualified actions.
+ *   Decoupled — two independently designed formal SISO controllers
+ *               (cache size -> IPS, frequency -> power), no
+ *               coordination.
+ *   MIMO      — the paper's LQG controller over all knobs and both
+ *               outputs.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "control/lqg.hpp"
+#include "core/knobs.hpp"
+#include "core/plant.hpp"
+
+namespace mimoarch {
+
+/** What a controller observes each epoch. */
+struct Observation
+{
+    Matrix y;          //!< [IPS, power], physical units.
+    double l2Mpki = 0; //!< Memory-boundedness signal.
+    double ipc = 0;
+};
+
+/** Common interface of the per-epoch knob controllers. */
+class ArchController
+{
+  public:
+    virtual ~ArchController() = default;
+
+    /** Observe this epoch's outputs; return next epoch's settings. */
+    virtual KnobSettings update(const Observation &obs) = 0;
+
+    /** Change the output references (IPS in BIPS, power in W). */
+    virtual void setReference(double ips0, double power0) = 0;
+
+    /** Current references as (IPS, power); (0, 0) when untargeted. */
+    virtual std::pair<double, double> reference() const = 0;
+
+    /** Reset internal state, starting from @p initial settings. */
+    virtual void initialize(const KnobSettings &initial) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Baseline: fixed settings. */
+class FixedController : public ArchController
+{
+  public:
+    explicit FixedController(const KnobSettings &settings)
+        : settings_(settings)
+    {}
+
+    KnobSettings update(const Observation &) override { return settings_; }
+    void setReference(double, double) override {}
+    std::pair<double, double> reference() const override { return {0, 0}; }
+    void initialize(const KnobSettings &) override {}
+    std::string name() const override { return "Baseline"; }
+
+  private:
+    KnobSettings settings_;
+};
+
+/** MIMO: the paper's LQG servo controller plus knob quantization. */
+class MimoArchController : public ArchController
+{
+  public:
+    MimoArchController(const StateSpaceModel &model,
+                       const LqgWeights &weights, const KnobSpace &knobs);
+
+    KnobSettings update(const Observation &obs) override;
+    void setReference(double ips0, double power0) override;
+    std::pair<double, double> reference() const override;
+    void initialize(const KnobSettings &initial) override;
+    std::string name() const override { return "MIMO"; }
+
+    const LqgServoController &lqg() const { return lqg_; }
+
+  private:
+    KnobSpace knobs_;
+    LqgServoController lqg_;
+    KnobSettings last_;
+};
+
+/**
+ * Decoupled: one SISO LQG drives the cache setting to track IPS; the
+ * other drives frequency to track power. No coordination (§VII-C).
+ */
+class DecoupledArchController : public ArchController
+{
+  public:
+    /**
+     * @param cache_to_ips SISO model, input = cache setting (1..4),
+     *        output = IPS.
+     * @param freq_to_power SISO model, input = frequency (GHz),
+     *        output = power.
+     */
+    DecoupledArchController(const StateSpaceModel &cache_to_ips,
+                            const StateSpaceModel &freq_to_power,
+                            const LqgWeights &cache_ips_weights,
+                            const LqgWeights &freq_power_weights,
+                            const KnobSpace &knobs);
+
+    KnobSettings update(const Observation &obs) override;
+    void setReference(double ips0, double power0) override;
+    std::pair<double, double> reference() const override;
+    void initialize(const KnobSettings &initial) override;
+    std::string name() const override { return "Decoupled"; }
+
+  private:
+    KnobSpace knobs_;
+    LqgServoController cacheCtrl_;
+    LqgServoController freqCtrl_;
+    KnobSettings current_;
+};
+
+/** Heuristic: ranked features with tuned thresholds. */
+class HeuristicArchController : public ArchController
+{
+  public:
+    /** Thresholds come pre-tuned on the training set (§VII-C). */
+    struct Tuning
+    {
+        double powerTolerance = 0.04;  //!< Relative dead zone for P.
+        double ipsTolerance = 0.04;    //!< Relative dead zone for IPS.
+        double bigErrorCut = 0.20;     //!< Error that triggers 2 steps.
+        double memoryBoundMpki = 4.0;  //!< L2 MPKI ranking threshold.
+        unsigned decisionPeriod = 2;   //!< Epochs between actions.
+    };
+
+    HeuristicArchController(const KnobSpace &knobs, const Tuning &tuning,
+                            double ips0, double power0);
+
+    KnobSettings update(const Observation &obs) override;
+    void setReference(double ips0, double power0) override;
+
+    std::pair<double, double>
+    reference() const override
+    {
+        return {ips0_, power0_};
+    }
+
+    void initialize(const KnobSettings &initial) override;
+    std::string name() const override { return "Heuristic"; }
+
+  private:
+    enum class Feature { Frequency, Cache, Rob };
+
+    /** Rank features by expected impact for this observation. */
+    std::vector<Feature> rankFeatures(const Observation &obs) const;
+
+    void stepFeature(Feature f, int direction, unsigned steps);
+
+    KnobSpace knobs_;
+    Tuning tuning_;
+    double ips0_;
+    double power0_;
+    KnobSettings current_;
+    unsigned sinceDecision_ = 0;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,248 @@
+#include "core/design_flow.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "sysid/arx.hpp"
+#include "sysid/waveform.hpp"
+
+namespace mimoarch {
+
+MimoControllerDesign::MimoControllerDesign(
+    const KnobSpace &knobs, const ExperimentConfig &config,
+    const ProcessorConfig &proc_config)
+    : knobs_(knobs), config_(config), procConfig_(proc_config)
+{}
+
+SysIdRecord
+MimoControllerDesign::collectRecord(SimPlant &plant, size_t epochs,
+                                    uint64_t waveform_seed) const
+{
+    WaveformConfig wcfg;
+    wcfg.lengthEpochs = epochs;
+    wcfg.seed = waveform_seed;
+    const Matrix u = generateExcitation(knobs_.channels(), wcfg);
+
+    plant.warmup(config_.warmupEpochs);
+
+    SysIdRecord rec;
+    rec.u = u;
+    rec.y = Matrix(epochs, kNumPlantOutputs);
+    for (size_t t = 0; t < epochs; ++t) {
+        const KnobSettings s = knobs_.quantize(u.row(t).transpose());
+        const Matrix y = plant.step(s);
+        rec.y(t, kOutputIps) = y[kOutputIps];
+        rec.y(t, kOutputPower) = y[kOutputPower];
+    }
+    return rec;
+}
+
+std::vector<SysIdRecord>
+MimoControllerDesign::alignOperatingPoints(
+    const std::vector<SysIdRecord> &recs)
+{
+    if (recs.empty())
+        fatal("alignOperatingPoints: no records");
+    const size_t n_out = recs.front().y.cols();
+
+    // Global output means.
+    std::vector<double> global(n_out, 0.0);
+    size_t total_rows = 0;
+    for (const SysIdRecord &r : recs) {
+        for (size_t t = 0; t < r.y.rows(); ++t)
+            for (size_t o = 0; o < n_out; ++o)
+                global[o] += r.y(t, o);
+        total_rows += r.y.rows();
+    }
+    for (double &g : global)
+        g /= static_cast<double>(total_rows);
+
+    // Shift each record's outputs onto the global mean.
+    std::vector<SysIdRecord> aligned = recs;
+    for (SysIdRecord &r : aligned) {
+        std::vector<double> mean(n_out, 0.0);
+        for (size_t t = 0; t < r.y.rows(); ++t)
+            for (size_t o = 0; o < n_out; ++o)
+                mean[o] += r.y(t, o);
+        for (size_t o = 0; o < n_out; ++o)
+            mean[o] /= static_cast<double>(r.y.rows());
+        for (size_t t = 0; t < r.y.rows(); ++t)
+            for (size_t o = 0; o < n_out; ++o)
+                r.y(t, o) += global[o] - mean[o];
+    }
+    return aligned;
+}
+
+SysIdRecord
+MimoControllerDesign::concatenate(const std::vector<SysIdRecord> &recs)
+{
+    if (recs.empty())
+        fatal("concatenate: no identification records");
+    SysIdRecord all = recs.front();
+    for (size_t i = 1; i < recs.size(); ++i) {
+        all.u = vcat(all.u, recs[i].u);
+        all.y = vcat(all.y, recs[i].y);
+    }
+    return all;
+}
+
+std::vector<double>
+MimoControllerDesign::scaledGuardbands(const StateSpaceModel &model,
+                                       const std::vector<double> &relative)
+{
+    if (relative.size() != model.numOutputs())
+        fatal("scaledGuardbands: need one guardband per output");
+    // Multiplicative (relative) uncertainty is invariant under the
+    // per-channel linear scaling: a y -> (1 + delta) y perturbation in
+    // physical units is the same relative perturbation on the scaled
+    // dynamic component. (The scaling offset is a constant bias, which
+    // the integral action rejects and which cannot destabilize the
+    // loop.) So the guardbands pass through unchanged.
+    (void)model;
+    return relative;
+}
+
+MimoDesignResult
+MimoControllerDesign::design(const std::vector<AppSpec> &training,
+                             const std::vector<AppSpec> &validation,
+                             size_t state_dimension) const
+{
+    if (training.empty())
+        fatal("design: no training applications");
+
+    // 1. Identification experiments on the training set.
+    std::vector<SysIdRecord> recs;
+    uint64_t seed = 1000;
+    for (const AppSpec &app : training) {
+        SimPlant plant(app, knobs_, procConfig_);
+        recs.push_back(
+            collectRecord(plant, config_.sysidEpochsPerApp, seed++));
+    }
+    const SysIdRecord all = concatenate(alignOperatingPoints(recs));
+
+    // 2. Fit + realize the model.
+    ExperimentConfig cfg = config_;
+    if (state_dimension != 0)
+        cfg.stateDimension = state_dimension;
+    StateSpaceModel model = identify(all.u, all.y, cfg.arxConfig());
+    // Estimator-side uncertainty guardband (see ExperimentConfig).
+    model.rn = model.rn * config_.measurementNoiseInflation;
+
+    MimoDesignResult result;
+    result.model = model;
+    result.weights = config_.lqgWeights(knobs_.hasRob());
+
+    // 3. Validate on the held-out applications; estimate uncertainty.
+    std::vector<SysIdRecord> vrecs;
+    for (const AppSpec &app : validation) {
+        SimPlant plant(app, knobs_, procConfig_, /*seed_salt=*/17);
+        vrecs.push_back(collectRecord(
+            plant, config_.validationEpochsPerApp, seed++));
+    }
+    if (!vrecs.empty()) {
+        const SysIdRecord vall = concatenate(vrecs);
+        result.validation = validateModel(model, vall.u, vall.y);
+    }
+
+    // Guardbands: Table III uses fixed 50%/30% (3x the observed errors).
+    result.guardbands = {config_.ipsGuardband, config_.powerGuardband};
+
+    // 4. Design + RSA loop: raise input weights until robustly stable.
+    const InputLimits limits{knobs_.lowerLimits(), knobs_.upperLimits()};
+    RobustStabilityAnalyzer rsa;
+    const std::vector<double> w_scaled =
+        scaledGuardbands(model, result.guardbands);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        LqgServoController ctrl(model, result.weights, limits);
+        result.rsa = rsa.analyze(model, ctrl.controllerRealization(),
+                                 w_scaled);
+        if (result.rsa.ok())
+            return result;
+        for (double &wi : result.weights.inputWeights)
+            wi *= 2.0;
+        ++result.weightAdjustments;
+    }
+    warn("design: robust stability not reached after ",
+         result.weightAdjustments, " weight adjustments (peak gain ",
+         result.rsa.peakGain, "); returning the most cautious design");
+    return result;
+}
+
+std::unique_ptr<MimoArchController>
+MimoControllerDesign::buildController(const MimoDesignResult &result) const
+{
+    return std::make_unique<MimoArchController>(result.model,
+                                                result.weights, knobs_);
+}
+
+std::pair<StateSpaceModel, StateSpaceModel>
+MimoControllerDesign::identifySisoModels(
+    const std::vector<AppSpec> &training) const
+{
+    if (knobs_.hasRob())
+        fatal("identifySisoModels: Decoupled is a 2-input design");
+
+    const auto collect_siso =
+        [&](size_t excited_channel, size_t output_idx,
+            double fixed_other) {
+            uint64_t seed = 4000 + excited_channel * 100;
+            Matrix u_all, y_all;
+            bool first = true;
+            for (const AppSpec &app : training) {
+                SimPlant plant(app, knobs_, procConfig_);
+                plant.warmup(config_.warmupEpochs);
+                WaveformConfig wcfg;
+                wcfg.lengthEpochs = config_.sysidEpochsPerApp;
+                wcfg.seed = seed++;
+                const std::vector<InputChannelSpec> all_ch =
+                    knobs_.channels();
+                const Matrix wave = generateExcitation(
+                    {all_ch[excited_channel]}, wcfg);
+                Matrix u_rec(wave.rows(), 1);
+                Matrix y_rec(wave.rows(), 1);
+                for (size_t t = 0; t < wave.rows(); ++t) {
+                    Matrix u_full(2, 1);
+                    u_full[excited_channel] = wave(t, 0);
+                    u_full[1 - excited_channel] = fixed_other;
+                    const KnobSettings s = knobs_.quantize(u_full);
+                    const Matrix y = plant.step(s);
+                    u_rec(t, 0) = wave(t, 0);
+                    y_rec(t, 0) = y[output_idx];
+                }
+                if (first) {
+                    u_all = u_rec;
+                    y_all = y_rec;
+                    first = false;
+                } else {
+                    u_all = vcat(u_all, u_rec);
+                    y_all = vcat(y_all, y_rec);
+                }
+            }
+            ArxConfig acfg = config_.arxConfig();
+            return identify(u_all, y_all, acfg);
+        };
+
+    // Cache (channel 1) -> IPS, frequency fixed at the 1.3 GHz baseline.
+    const StateSpaceModel cache_to_ips = collect_siso(1, kOutputIps, 1.3);
+    // Frequency (channel 0) -> power, cache fixed at full size.
+    const StateSpaceModel freq_to_power =
+        collect_siso(0, kOutputPower, 4.0);
+    return {cache_to_ips, freq_to_power};
+}
+
+std::unique_ptr<DecoupledArchController>
+MimoControllerDesign::buildDecoupled(
+    const StateSpaceModel &cache_to_ips,
+    const StateSpaceModel &freq_to_power) const
+{
+    LqgWeights cache_w;
+    cache_w.outputWeights = {config_.ipsWeight};
+    cache_w.inputWeights = {config_.cacheWeight};
+    LqgWeights freq_w;
+    freq_w.outputWeights = {config_.powerWeight};
+    freq_w.inputWeights = {config_.freqWeight};
+    return std::make_unique<DecoupledArchController>(
+        cache_to_ips, freq_to_power, cache_w, freq_w, knobs_);
+}
+
+} // namespace mimoarch

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The controller design flow of Fig. 3: select inputs/outputs and
+ * weights, run black-box identification experiments on the training
+ * applications, fit and realize the model, validate it on the
+ * validation applications to estimate uncertainty, design the LQG
+ * controller, and run Robust Stability Analysis — raising the input
+ * weights and redesigning when RSA fails (§IV-B4).
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "control/lqg.hpp"
+#include "control/robust.hpp"
+#include "core/controllers.hpp"
+#include "core/experiment_config.hpp"
+#include "core/plant.hpp"
+#include "sysid/validate.hpp"
+#include "workload/appspec.hpp"
+
+namespace mimoarch {
+
+/** One identification record: applied inputs and measured outputs. */
+struct SysIdRecord
+{
+    Matrix u; //!< T x I physical inputs.
+    Matrix y; //!< T x O physical outputs.
+};
+
+/** Everything the design flow produced, for inspection and reports. */
+struct MimoDesignResult
+{
+    StateSpaceModel model;
+    LqgWeights weights;              //!< Final (possibly adjusted).
+    ValidationReport validation;     //!< Model-vs-system errors.
+    std::vector<double> guardbands;  //!< Relative, per output.
+    RobustStabilityResult rsa;       //!< For the final design.
+    int weightAdjustments = 0;       //!< RSA-failure redesign count.
+};
+
+/** Fig. 3 implementation. */
+class MimoControllerDesign
+{
+  public:
+    MimoControllerDesign(const KnobSpace &knobs,
+                         const ExperimentConfig &config,
+                         const ProcessorConfig &proc_config = {});
+
+    /**
+     * Drive @p plant with an excitation waveform and record (u, y).
+     * The plant is warmed up first.
+     */
+    SysIdRecord collectRecord(SimPlant &plant, size_t epochs,
+                              uint64_t waveform_seed) const;
+
+    /** Concatenate identification records. */
+    static SysIdRecord concatenate(const std::vector<SysIdRecord> &recs);
+
+    /**
+     * Align the per-record output operating points before pooling:
+     * each record's outputs are shifted so its mean matches the global
+     * mean. Different applications sit at very different (IPS, power)
+     * levels; without alignment that app-identity variance leaks into
+     * the fitted dynamics as spurious slow modes and biased gains.
+     */
+    static std::vector<SysIdRecord>
+    alignOperatingPoints(const std::vector<SysIdRecord> &recs);
+
+    /**
+     * Run the full flow. @p state_dimension overrides the config's
+     * (used by the Fig. 7 model-dimension sweep); pass 0 to use it.
+     */
+    MimoDesignResult design(const std::vector<AppSpec> &training,
+                            const std::vector<AppSpec> &validation,
+                            size_t state_dimension = 0) const;
+
+    /** Build the runtime controller from a design. */
+    std::unique_ptr<MimoArchController>
+    buildController(const MimoDesignResult &result) const;
+
+    /**
+     * Identify the two SISO models for the Decoupled architecture:
+     * cache -> IPS (frequency fixed at the baseline) and
+     * frequency -> power (cache fixed at full size).
+     */
+    std::pair<StateSpaceModel, StateSpaceModel>
+    identifySisoModels(const std::vector<AppSpec> &training) const;
+
+    /** Build the Decoupled controller from the SISO models. */
+    std::unique_ptr<DecoupledArchController>
+    buildDecoupled(const StateSpaceModel &cache_to_ips,
+                   const StateSpaceModel &freq_to_power) const;
+
+    /**
+     * Translate relative physical guardbands into the scaled-space
+     * uncertainty weights used by the small-gain test (the relative
+     * error applies to the physical magnitude at the operating point).
+     */
+    static std::vector<double>
+    scaledGuardbands(const StateSpaceModel &model,
+                     const std::vector<double> &relative);
+
+    const ExperimentConfig &config() const { return config_; }
+
+  private:
+    KnobSpace knobs_;
+    ExperimentConfig config_;
+    ProcessorConfig procConfig_;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Default control and experiment parameters (the paper's Table III),
+ * plus the tracking references used by this reproduction.
+ *
+ * The paper's reference point (2.5 BIPS / 2 W) came from a design-space
+ * exploration over its training set on its ESESC/A15 infrastructure.
+ * Our substrate's envelope differs (see DESIGN.md), so the analogous
+ * DSE over our training set yields 2.0 BIPS / 2.0 W; the responsive /
+ * non-responsive application split is preserved exactly.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "control/lqg.hpp"
+#include "sysid/arx.hpp"
+#include "sysid/waveform.hpp"
+
+namespace mimoarch {
+
+/** Table III parameters. */
+struct ExperimentConfig
+{
+    // Input/output weights (Table III, exact values).
+    double powerWeight = 10000.0;
+    double ipsWeight = 10.0;
+    double freqWeight = 0.01;
+    double cacheWeight = 0.0005;
+    double robWeight = 0.001;
+
+    // Model and uncertainty.
+    size_t stateDimension = 4;      //!< Dimensions of system state.
+    double ipsGuardband = 0.50;     //!< 50% for IPS.
+    double powerGuardband = 0.30;   //!< 30% for power.
+
+    // Invocation periods.
+    double epochSeconds = 50e-6;        //!< Controller: every 50 us.
+    uint64_t optimizerPeriodEpochs = 200; //!< Every 10 ms.
+    unsigned maxTries = 10;             //!< Optimizer trials per search.
+
+    // Tracking references (this reproduction's training-set DSE).
+    double ipsReference = 2.0;   //!< BIPS (paper: 2.5 on its substrate).
+    double powerReference = 2.0; //!< W (paper: 2 W).
+
+    // Identification.
+    size_t sysidEpochsPerApp = 1200;
+    size_t validationEpochsPerApp = 600;
+    uint64_t warmupEpochs = 150; //!< Fast-forward analogue.
+
+    // Substrate calibration (the §IV-B2 "experiment with MATLAB" step).
+    // Table III's weight *ratios* are kept exactly; this overall
+    // output-to-input ratio is tuned per substrate so the closed loop
+    // is neither ripply nor sluggish (Fig. 4). The measurement-noise
+    // inflation is the estimator-side uncertainty guardband: production
+    // applications deviate from the identified model far more than the
+    // training residuals suggest, so the Kalman filter must not chase
+    // every innovation.
+    double inputWeightScale = 1e5;
+    double measurementNoiseInflation = 100.0;
+
+    /** LQG weights for a 2- or 3-input design, y = [IPS, power]. */
+    LqgWeights
+    lqgWeights(bool with_rob) const
+    {
+        LqgWeights w;
+        w.outputWeights = {ipsWeight, powerWeight};
+        w.inputWeights = {freqWeight * inputWeightScale,
+                          cacheWeight * inputWeightScale};
+        if (with_rob)
+            w.inputWeights.push_back(robWeight * inputWeightScale);
+        return w;
+    }
+
+    /** ARX order for the requested state dimension (N = outputs * k). */
+    ArxConfig
+    arxConfig() const
+    {
+        ArxConfig c;
+        c.order = (stateDimension + 1) / 2;
+        return c;
+    }
+};
+
+} // namespace mimoarch

@@ -1,0 +1,136 @@
+#include "core/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+EpochDriver::EpochDriver(Plant &plant, ArchController &controller,
+                         const DriverConfig &config, QoeBatteryModel *qoe)
+    : plant_(plant), controller_(controller), config_(config), qoe_(qoe)
+{
+    if (config_.epochs == 0)
+        fatal("EpochDriver: zero epochs");
+}
+
+long
+EpochDriver::steadyEpoch(const std::vector<unsigned> &values,
+                         unsigned tolerance)
+{
+    if (values.empty())
+        return -1;
+    const unsigned final_value = values.back();
+    // Earliest epoch after which the setting stays within tolerance of
+    // its final value.
+    long steady = 0;
+    for (size_t t = 0; t < values.size(); ++t) {
+        const long diff = static_cast<long>(values[t]) -
+            static_cast<long>(final_value);
+        if (static_cast<unsigned>(std::abs(diff)) > tolerance)
+            steady = static_cast<long>(t) + 1;
+    }
+    // Settling in the last tenth of the run counts as non-convergence.
+    if (steady >
+        static_cast<long>(values.size() - values.size() / 10)) {
+        return -1;
+    }
+    return steady;
+}
+
+RunSummary
+EpochDriver::run(const KnobSettings &initial)
+{
+    trace_ = EpochTrace{};
+    controller_.initialize(initial);
+
+    // Warmup (the paper's fast-forward) at the initial settings.
+    KnobSettings settings = initial;
+    for (size_t i = 0; i < config_.warmupEpochs; ++i)
+        plant_.step(settings);
+
+    const double energy0 = plant_.totalEnergyJoules();
+    const double time0 = plant_.elapsedSeconds();
+    const double instr0 = plant_.totalInstructionsB();
+
+    std::unique_ptr<Optimizer> opt;
+    if (config_.useOptimizer)
+        opt = std::make_unique<Optimizer>(controller_, config_.optimizer);
+    PhaseDetector phases(config_.phaseDetector);
+
+    double err_ips = 0.0, err_power = 0.0;
+    size_t err_samples = 0;
+
+    for (size_t t = 0; t < config_.epochs; ++t) {
+        const Matrix y = plant_.step(settings);
+
+        Observation obs;
+        obs.y = y;
+        obs.l2Mpki = plant_.lastL2Mpki();
+        obs.ipc = plant_.lastIpc();
+
+        // Battery/QoE target schedule.
+        if (qoe_) {
+            if (qoe_->consumeEpoch(plant_.lastEnergyJoules())) {
+                const Targets tg = qoe_->targets();
+                controller_.setReference(tg.ips, tg.power);
+            }
+        }
+
+        // Optimizer search management: the first invocation starts a
+        // search; afterwards only a phase change (or the optional
+        // periodic restart) triggers a new one (§V).
+        if (opt) {
+            const bool phase_change =
+                config_.usePhaseDetector &&
+                phases.observe(obs.ipc, obs.l2Mpki);
+            const bool periodic = t == 0 ||
+                (config_.optimizerPeriodicRestart &&
+                 t % config_.optimizerPeriodEpochs == 0);
+            if (phase_change || (periodic && !opt->searching()))
+                opt->startSearch(y);
+            opt->observe(y);
+        }
+
+        settings = controller_.update(obs);
+
+        // Tracking-error accounting against the *current* references.
+        double ref_ips = 0.0, ref_power = 0.0;
+        if (qoe_) {
+            ref_ips = qoe_->targets().ips;
+            ref_power = qoe_->targets().power;
+        } else {
+            std::tie(ref_ips, ref_power) = controller_.reference();
+        }
+        if (t >= config_.errorSkipEpochs && ref_ips > 0 &&
+            ref_power > 0 && !config_.useOptimizer) {
+            err_ips += std::abs(y[kOutputIps] - ref_ips) / ref_ips;
+            err_power += std::abs(y[kOutputPower] - ref_power) / ref_power;
+            ++err_samples;
+        }
+
+        trace_.ips.push_back(y[kOutputIps]);
+        trace_.power.push_back(y[kOutputPower]);
+        trace_.refIps.push_back(ref_ips);
+        trace_.refPower.push_back(ref_power);
+        trace_.freqLevel.push_back(settings.freqLevel);
+        trace_.cacheSetting.push_back(settings.cacheSetting);
+        trace_.robPartitions.push_back(settings.robPartitions);
+    }
+
+    RunSummary s;
+    if (err_samples) {
+        s.avgIpsErrorPct = 100.0 * err_ips / static_cast<double>(err_samples);
+        s.avgPowerErrorPct =
+            100.0 * err_power / static_cast<double>(err_samples);
+    }
+    s.steadyEpochFreq = steadyEpoch(trace_.freqLevel, 2);
+    s.steadyEpochCache = steadyEpoch(trace_.cacheSetting, 1);
+    s.totalEnergyJ = plant_.totalEnergyJoules() - energy0;
+    s.totalTimeS = plant_.elapsedSeconds() - time0;
+    s.totalInstrB = plant_.totalInstructionsB() - instr0;
+    return s;
+}
+
+} // namespace mimoarch

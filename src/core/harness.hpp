@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The epoch driver: closes the loop between a Plant and an
+ * ArchController every 50 us epoch, optionally layering the optimizer
+ * (§V use 3), the QoE/battery target schedule (§V use 2), and the
+ * phase detector. Produces the summaries behind the paper's figures:
+ * tracking errors, epochs-to-steady-state, and per-instruction energy
+ * metrics (E, E x D, E x D^2).
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/controllers.hpp"
+#include "core/optimizer.hpp"
+#include "core/phase_detect.hpp"
+#include "core/plant.hpp"
+#include "core/qoe.hpp"
+
+namespace mimoarch {
+
+/** Per-epoch trace of a run (for figure time series). */
+struct EpochTrace
+{
+    std::vector<double> ips;
+    std::vector<double> power;
+    std::vector<double> refIps;
+    std::vector<double> refPower;
+    std::vector<unsigned> freqLevel;
+    std::vector<unsigned> cacheSetting;
+    std::vector<unsigned> robPartitions;
+};
+
+/** Aggregate results of one controlled run. */
+struct RunSummary
+{
+    double avgIpsErrorPct = 0.0;   //!< Mean |IPS - ref| / ref * 100.
+    double avgPowerErrorPct = 0.0; //!< Mean |P - ref| / ref * 100.
+    long steadyEpochFreq = -1;     //!< -1 = did not converge.
+    long steadyEpochCache = -1;
+
+    double totalEnergyJ = 0.0;
+    double totalTimeS = 0.0;
+    double totalInstrB = 0.0;
+
+    /** Energy per unit work (J per B-instructions). */
+    double
+    energyPerWork() const
+    {
+        return totalInstrB > 0 ? totalEnergyJ / totalInstrB : 0.0;
+    }
+
+    /** Time per unit work (s per B-instructions). */
+    double
+    delayPerWork() const
+    {
+        return totalInstrB > 0 ? totalTimeS / totalInstrB : 0.0;
+    }
+
+    /** E x D^(k-1) per unit work; k=1 is energy, k=2 is E x D, ... */
+    double
+    exdMetric(unsigned k) const
+    {
+        double m = energyPerWork();
+        for (unsigned i = 1; i < k; ++i)
+            m *= delayPerWork();
+        return m;
+    }
+};
+
+/** Driver options. */
+struct DriverConfig
+{
+    size_t epochs = 3000;
+    size_t warmupEpochs = 150;     //!< Fast-forward before control.
+    size_t errorSkipEpochs = 200;  //!< Transient excluded from errors.
+    bool recordTrace = false;
+
+    bool useOptimizer = false;
+    OptimizerConfig optimizer{};
+    uint64_t optimizerPeriodEpochs = 200; //!< 10 ms.
+    /**
+     * Restart a completed search every optimizer period. The paper's
+     * §V: "A new search will start only when the controller detects
+     * that the application changes phases", so this defaults to off
+     * (the period then only paces the very first search).
+     */
+    bool optimizerPeriodicRestart = false;
+    bool usePhaseDetector = true;
+    PhaseDetectorConfig phaseDetector{};
+};
+
+/** Runs one controlled experiment. */
+class EpochDriver
+{
+  public:
+    /**
+     * @param plant the controlled system (not owned).
+     * @param controller knob controller (not owned).
+     * @param qoe optional battery/QoE target schedule (not owned).
+     */
+    EpochDriver(Plant &plant, ArchController &controller,
+                const DriverConfig &config,
+                QoeBatteryModel *qoe = nullptr);
+
+    /** Run the configured number of epochs from @p initial settings. */
+    RunSummary run(const KnobSettings &initial);
+
+    /** Per-epoch trace (only filled when recordTrace). */
+    const EpochTrace &trace() const { return trace_; }
+
+  private:
+    static long steadyEpoch(const std::vector<unsigned> &values,
+                            unsigned tolerance);
+
+    Plant &plant_;
+    ArchController &controller_;
+    DriverConfig config_;
+    QoeBatteryModel *qoe_;
+    EpochTrace trace_;
+};
+
+} // namespace mimoarch

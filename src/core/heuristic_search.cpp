@@ -1,0 +1,195 @@
+#include "core/heuristic_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+HeuristicSearchController::HeuristicSearchController(
+    const KnobSpace &knobs, const HeuristicSearchConfig &config)
+    : knobs_(knobs), config_(config)
+{
+    if (config_.maxTries == 0)
+        fatal("heuristic search needs a positive trial budget");
+    current_ = knobs_.midrange();
+    best_ = current_;
+}
+
+double
+HeuristicSearchController::metric(double ips, double power) const
+{
+    double num = 1.0;
+    for (unsigned i = 0; i < config_.metricExponent; ++i)
+        num *= std::max(ips, 1e-9);
+    return num / std::max(power, 1e-9);
+}
+
+std::vector<HeuristicSearchController::Feature>
+HeuristicSearchController::rankFeatures(const Observation &obs) const
+{
+    const bool memory_bound = obs.l2Mpki > config_.memoryBoundMpki;
+    std::vector<Feature> rank;
+    if (memory_bound)
+        rank = {Feature::Cache, Feature::Frequency};
+    else
+        rank = {Feature::Frequency, Feature::Cache};
+    if (knobs_.hasRob())
+        rank.push_back(Feature::Rob);
+    return rank;
+}
+
+KnobSettings
+HeuristicSearchController::stepped(const KnobSettings &s, Feature f,
+                                   int dir) const
+{
+    KnobSettings n = s;
+    switch (f) {
+      case Feature::Frequency: {
+        // Frequency moves two levels at a time: one 0.1 GHz step
+        // rarely changes the metric beyond noise.
+        const int lvl = static_cast<int>(s.freqLevel) + 2 * dir;
+        n.freqLevel = static_cast<unsigned>(std::clamp(lvl, 0, 15));
+        break;
+      }
+      case Feature::Cache: {
+        const int c = static_cast<int>(s.cacheSetting) + dir;
+        n.cacheSetting = static_cast<unsigned>(std::clamp(c, 0, 3));
+        break;
+      }
+      case Feature::Rob: {
+        const int p = static_cast<int>(s.robPartitions) + 2 * dir;
+        n.robPartitions = static_cast<unsigned>(std::clamp(p, 1, 8));
+        break;
+      }
+    }
+    return n;
+}
+
+void
+HeuristicSearchController::beginTrial(const KnobSettings &candidate)
+{
+    candidate_ = candidate;
+    current_ = candidate;
+    state_ = State::Settling;
+    counter_ = 0;
+    accIps_ = 0.0;
+    accPower_ = 0.0;
+}
+
+void
+HeuristicSearchController::nextCandidate()
+{
+    while (featureIdx_ < rank_.size()) {
+        const Feature f = rank_[featureIdx_];
+        if (featureTrials_ >= config_.maxTrialsPerFeature) {
+            // "A few configurations of each feature": move on.
+            featureTrials_ = 0;
+            triedOtherDirection_ = false;
+            direction_ = +1;
+            ++featureIdx_;
+            continue;
+        }
+        const KnobSettings cand = stepped(best_, f, direction_);
+        if (!(cand == best_) && trials_ < config_.maxTries) {
+            beginTrial(cand);
+            return;
+        }
+        // This direction is exhausted (at a limit); flip or move on.
+        if (!triedOtherDirection_) {
+            triedOtherDirection_ = true;
+            direction_ = -direction_;
+        } else {
+            featureTrials_ = 0;
+            triedOtherDirection_ = false;
+            direction_ = +1;
+            ++featureIdx_;
+        }
+        if (trials_ >= config_.maxTries)
+            break;
+    }
+    // Search complete: rest at the best configuration found.
+    current_ = best_;
+    state_ = State::Idle;
+}
+
+void
+HeuristicSearchController::initialize(const KnobSettings &initial)
+{
+    current_ = initial;
+    best_ = initial;
+    state_ = State::Idle;
+    trials_ = 0;
+    epoch_ = 0;
+    lastSearchEpoch_ = 0;
+    bestMetric_ = 0.0;
+}
+
+KnobSettings
+HeuristicSearchController::update(const Observation &obs)
+{
+    ++epoch_;
+    switch (state_) {
+      case State::Idle: {
+        // Start a search shortly after initialization and refresh it
+        // periodically (the heuristic has no phase predictor of its
+        // own beyond re-ranking on current metrics).
+        const bool first = lastSearchEpoch_ == 0 && epoch_ > 8;
+        const bool refresh = lastSearchEpoch_ != 0 &&
+            epoch_ - lastSearchEpoch_ > 2500;
+        if (first || refresh) {
+            lastSearchEpoch_ = epoch_;
+            trials_ = 0;
+            rank_ = rankFeatures(obs);
+            featureIdx_ = 0;
+            direction_ = +1;
+            triedOtherDirection_ = false;
+            featureTrials_ = 0;
+            bestMetric_ =
+                metric(obs.y[kOutputIps], obs.y[kOutputPower]);
+            nextCandidate();
+        }
+        return current_;
+      }
+      case State::Settling:
+        if (++counter_ >= config_.settleEpochs) {
+            state_ = State::Measuring;
+            counter_ = 0;
+        }
+        return current_;
+      case State::Measuring: {
+        accIps_ += obs.y[kOutputIps];
+        accPower_ += obs.y[kOutputPower];
+        if (++counter_ < config_.measureEpochs)
+            return current_;
+        ++trials_;
+        ++featureTrials_;
+        const double m = metric(accIps_ / config_.measureEpochs,
+                                accPower_ / config_.measureEpochs);
+        if (m > bestMetric_ * config_.acceptMargin) {
+            bestMetric_ = m;
+            best_ = candidate_;
+            // Keep pushing the same feature in the same direction.
+        } else if (!triedOtherDirection_) {
+            triedOtherDirection_ = true;
+            direction_ = -direction_;
+        } else {
+            featureTrials_ = 0;
+            triedOtherDirection_ = false;
+            direction_ = +1;
+            ++featureIdx_;
+        }
+        if (trials_ >= config_.maxTries) {
+            current_ = best_;
+            state_ = State::Idle;
+            return current_;
+        }
+        nextCandidate();
+        return current_;
+      }
+    }
+    return current_;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Heuristic architecture's optimization mode (§VII-C): an iterative
+ * low-level search that tests a few configurations of each adaptive
+ * feature in rank order, keeping the configuration with the best
+ * IPS^k / P. Unlike the MIMO optimizer — which searches in the compact
+ * target space and lets the tracking controller allocate the knobs —
+ * this search walks the raw knob space, which is exactly why it is
+ * costly and fragile (the paper's argument). When a new input is added
+ * (the ROB), the ranking and step rules have to be extended by hand
+ * (§VIII-G), whereas the MIMO design is regenerated automatically.
+ */
+
+#pragma once
+
+#include "core/controllers.hpp"
+
+namespace mimoarch {
+
+/** Search parameters for the heuristic optimizer. */
+struct HeuristicSearchConfig
+{
+    unsigned metricExponent = 2; //!< k in IPS^k / P.
+    unsigned maxTries = 16;      //!< Trial budget per search.
+    /**
+     * "Testing a few configurations of each of the adaptive features
+     * in rank order" (§VII-C): each feature gets only a handful of
+     * trials before the search moves on — the paper's heuristics do
+     * not exhaustively walk a knob even when it keeps paying off.
+     */
+    unsigned maxTrialsPerFeature = 3;
+    unsigned settleEpochs = 14;
+    /**
+     * Short measurement window and no acceptance margin: the paper's
+     * rule-based heuristics have no statistical noise-rejection
+     * machinery (Table I: "no formal methodology... prone to errors"),
+     * unlike the MIMO optimizer's confirmed, margin-gated trials.
+     */
+    unsigned measureEpochs = 6;
+    /**
+     * Memory-boundedness classification threshold, tuned by static
+     * profiling of the *training set* (the paper's stated weakness:
+     * thresholds "are based on static profiling with the training
+     * set... it may not make the choices that align best with the
+     * dynamic execution of the production set applications", §VIII-D;
+     * dealII is the paper's example of the resulting misclassification).
+     */
+    double memoryBoundMpki = 10.0;
+    double acceptMargin = 1.0;
+};
+
+/**
+ * Knob-space hill climber with feature ranking. Acts as an
+ * ArchController so the EpochDriver can run it; setReference() is a
+ * no-op (it optimizes, it does not track).
+ */
+class HeuristicSearchController : public ArchController
+{
+  public:
+    HeuristicSearchController(const KnobSpace &knobs,
+                              const HeuristicSearchConfig &config);
+
+    KnobSettings update(const Observation &obs) override;
+    void setReference(double, double) override {}
+    std::pair<double, double> reference() const override { return {0, 0}; }
+    void initialize(const KnobSettings &initial) override;
+    std::string name() const override { return "Heuristic"; }
+
+    /** Trials consumed in the current search. */
+    unsigned trials() const { return trials_; }
+    bool searching() const { return state_ != State::Idle; }
+
+  private:
+    enum class State { Idle, Settling, Measuring };
+    enum class Feature { Frequency, Cache, Rob };
+
+    double metric(double ips, double power) const;
+    std::vector<Feature> rankFeatures(const Observation &obs) const;
+    KnobSettings stepped(const KnobSettings &s, Feature f, int dir) const;
+    void beginTrial(const KnobSettings &candidate);
+    void nextCandidate();
+
+    KnobSpace knobs_;
+    HeuristicSearchConfig config_;
+
+    State state_ = State::Idle;
+    KnobSettings current_;
+    KnobSettings best_;
+    KnobSettings candidate_;
+    double bestMetric_ = 0.0;
+    unsigned trials_ = 0;
+    unsigned counter_ = 0;
+    double accIps_ = 0.0;
+    double accPower_ = 0.0;
+
+    std::vector<Feature> rank_;
+    size_t featureIdx_ = 0;
+    int direction_ = +1;
+    bool triedOtherDirection_ = false;
+    unsigned featureTrials_ = 0;
+    uint64_t epoch_ = 0;
+    uint64_t lastSearchEpoch_ = 0;
+};
+
+} // namespace mimoarch

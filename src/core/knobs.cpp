@@ -1,0 +1,143 @@
+#include "core/knobs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+KnobSpace::KnobSpace(bool include_rob) : includeRob_(include_rob) {}
+
+Matrix
+KnobSpace::toVector(const KnobSettings &s) const
+{
+    std::vector<double> v;
+    v.push_back(DvfsController::freqAtLevel(s.freqLevel));
+    v.push_back(static_cast<double>(s.cacheSetting + 1));
+    if (includeRob_)
+        v.push_back(static_cast<double>(s.robPartitions));
+    return Matrix::vector(v);
+}
+
+KnobSettings
+KnobSpace::quantize(const Matrix &u_physical) const
+{
+    if (u_physical.rows() != numInputs() || u_physical.cols() != 1)
+        fatal("quantize: expected ", numInputs(), " inputs");
+    KnobSettings s;
+    s.freqLevel = DvfsController::levelForFreq(u_physical[0]);
+    const long cache = std::lround(u_physical[1]) - 1;
+    s.cacheSetting = static_cast<unsigned>(std::clamp<long>(cache, 0, 3));
+    if (includeRob_) {
+        const long rob = std::lround(u_physical[2]);
+        s.robPartitions = static_cast<unsigned>(
+            std::clamp<long>(rob, 1, 8));
+    } else {
+        s.robPartitions = 8;
+    }
+    return s;
+}
+
+KnobSettings
+KnobSpace::quantizeWithHysteresis(const Matrix &u_physical,
+                                  const KnobSettings &current,
+                                  double margin) const
+{
+    if (u_physical.rows() != numInputs() || u_physical.cols() != 1)
+        fatal("quantizeWithHysteresis: expected ", numInputs(), " inputs");
+    KnobSettings next = quantize(u_physical);
+    const double gate = 0.5 + margin;
+
+    // Frequency: step = 0.1 GHz.
+    const double f_cur = DvfsController::freqAtLevel(current.freqLevel);
+    if (next.freqLevel != current.freqLevel &&
+        std::abs(u_physical[0] - f_cur) < gate * 0.1) {
+        next.freqLevel = current.freqLevel;
+    }
+    // Cache: step = 1 setting.
+    const double c_cur = static_cast<double>(current.cacheSetting + 1);
+    if (next.cacheSetting != current.cacheSetting &&
+        std::abs(u_physical[1] - c_cur) < gate) {
+        next.cacheSetting = current.cacheSetting;
+    }
+    if (includeRob_) {
+        const double r_cur = static_cast<double>(current.robPartitions);
+        if (next.robPartitions != current.robPartitions &&
+            std::abs(u_physical[2] - r_cur) < gate) {
+            next.robPartitions = current.robPartitions;
+        }
+    } else {
+        next.robPartitions = current.robPartitions;
+    }
+    return next;
+}
+
+void
+KnobSpace::apply(Processor &proc, const KnobSettings &s) const
+{
+    proc.setFrequencyLevel(s.freqLevel);
+    proc.setCacheSizeSetting(s.cacheSetting);
+    if (includeRob_)
+        proc.setRobSize(s.robPartitions * 16);
+}
+
+KnobSettings
+KnobSpace::read(const Processor &proc) const
+{
+    KnobSettings s;
+    s.freqLevel = proc.frequencyLevel();
+    s.cacheSetting = proc.cacheSizeSetting();
+    s.robPartitions = std::max(1u, proc.robSize() / 16);
+    return s;
+}
+
+std::vector<InputChannelSpec>
+KnobSpace::channels() const
+{
+    std::vector<InputChannelSpec> ch;
+    InputChannelSpec freq;
+    for (unsigned l = 0; l < DvfsController::kNumLevels; ++l)
+        freq.levels.push_back(DvfsController::freqAtLevel(l));
+    ch.push_back(freq);
+    InputChannelSpec cache;
+    cache.levels = {1.0, 2.0, 3.0, 4.0};
+    ch.push_back(cache);
+    if (includeRob_) {
+        InputChannelSpec rob;
+        for (int p = 1; p <= 8; ++p)
+            rob.levels.push_back(static_cast<double>(p));
+        ch.push_back(rob);
+    }
+    return ch;
+}
+
+std::vector<double>
+KnobSpace::lowerLimits() const
+{
+    std::vector<double> lo = {0.5, 1.0};
+    if (includeRob_)
+        lo.push_back(1.0);
+    return lo;
+}
+
+std::vector<double>
+KnobSpace::upperLimits() const
+{
+    std::vector<double> hi = {2.0, 4.0};
+    if (includeRob_)
+        hi.push_back(8.0);
+    return hi;
+}
+
+KnobSettings
+KnobSpace::midrange() const
+{
+    KnobSettings s;
+    s.freqLevel = DvfsController::levelForFreq(1.0); // 1 GHz (§VI-B)
+    s.cacheSetting = 1;                              // (4,2) assoc
+    s.robPartitions = 4;
+    return s;
+}
+
+} // namespace mimoarch

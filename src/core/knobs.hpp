@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The knob space: the mapping between the controller's continuous input
+ * vector and the processor's discrete settings.
+ *
+ * Input units follow Table III's weight semantics:
+ *   - frequency in GHz (16 levels, 0.5..2.0),
+ *   - cache size as the setting index + 1 (1..4, since one "step" is one
+ *     way-gating action),
+ *   - ROB size in 16-entry partitions (1..8).
+ *
+ * The controller emits continuous values; quantize() rounds to the
+ * nearest valid setting (the paper's §IV-B2 discussion of discrete
+ * inputs and why input weights govern step granularity).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/processor.hpp"
+#include "sysid/waveform.hpp"
+
+namespace mimoarch {
+
+/** One concrete configuration of the processor's knobs. */
+struct KnobSettings
+{
+    unsigned freqLevel = 8;     //!< 0..15 (0.5 + 0.1 * level GHz).
+    unsigned cacheSetting = 3;  //!< 0..3 (0 smallest).
+    unsigned robPartitions = 8; //!< 1..8 (x16 entries).
+
+    bool
+    operator==(const KnobSettings &o) const
+    {
+        return freqLevel == o.freqLevel && cacheSetting == o.cacheSetting &&
+            robPartitions == o.robPartitions;
+    }
+};
+
+/** Continuous <-> discrete mapping for a 2- or 3-input knob space. */
+class KnobSpace
+{
+  public:
+    /** @param include_rob adds the third input (§VI-D experiments). */
+    explicit KnobSpace(bool include_rob = false);
+
+    size_t numInputs() const { return includeRob_ ? 3 : 2; }
+    bool hasRob() const { return includeRob_; }
+
+    /** Physical input vector for concrete settings. */
+    Matrix toVector(const KnobSettings &s) const;
+
+    /** Nearest valid settings for a continuous input vector. */
+    KnobSettings quantize(const Matrix &u_physical) const;
+
+    /**
+     * Quantize with hysteresis around the current settings: a knob only
+     * moves when the continuous command is at least (0.5 + margin)
+     * steps away from its current level. This suppresses limit-cycle
+     * toggling (each DVFS change stalls 5 us; way gating flushes
+     * lines), trading a little steady-state bias for much lower
+     * actuation overhead.
+     */
+    KnobSettings quantizeWithHysteresis(const Matrix &u_physical,
+                                        const KnobSettings &current,
+                                        double margin = 0.3) const;
+
+    /** Apply settings to a processor. */
+    void apply(Processor &proc, const KnobSettings &s) const;
+
+    /** Read the processor's current settings. */
+    KnobSettings read(const Processor &proc) const;
+
+    /** Channel specs for excitation waveform generation. */
+    std::vector<InputChannelSpec> channels() const;
+
+    /** Physical saturation limits for controller design. */
+    std::vector<double> lowerLimits() const;
+    std::vector<double> upperLimits() const;
+
+    /** Mid-range settings (the optimizer's §VI-B restart point). */
+    KnobSettings midrange() const;
+
+  private:
+    bool includeRob_;
+};
+
+} // namespace mimoarch

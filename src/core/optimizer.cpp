@@ -1,0 +1,130 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+Optimizer::Optimizer(ArchController &controller,
+                     const OptimizerConfig &config)
+    : controller_(controller), config_(config)
+{
+    if (config_.maxTries == 0 || config_.settleEpochs == 0 ||
+        config_.measureEpochs == 0) {
+        fatal("Optimizer config: zero tries/settle/measure");
+    }
+}
+
+double
+Optimizer::metric(double ips, double power) const
+{
+    double num = 1.0;
+    for (unsigned i = 0; i < config_.metricExponent; ++i)
+        num *= std::max(ips, 1e-9);
+    return num / std::max(power, 1e-9);
+}
+
+void
+Optimizer::startSearch(const Matrix &y_now)
+{
+    curIps0_ = std::max(y_now[kOutputIps], 0.05);
+    curPower0_ = std::max(y_now[kOutputPower], 0.1);
+    bestIps0_ = curIps0_;
+    bestPower0_ = curPower0_;
+    bestMetric_ = metric(y_now[kOutputIps], y_now[kOutputPower]);
+    trials_ = 0;
+    direction_ = +1;
+    proposeNext();
+}
+
+void
+Optimizer::proposeNext()
+{
+    if (trials_ >= config_.maxTries) {
+        // Settle at the best point found (no backtracking search).
+        controller_.setReference(bestIps0_, bestPower0_);
+        state_ = State::Idle;
+        return;
+    }
+    if (direction_ > 0) {
+        curIps0_ = bestIps0_ * config_.upIpsFactor;
+        curPower0_ = bestPower0_ * config_.upPowerFactor;
+    } else {
+        curIps0_ = bestIps0_ * config_.downIpsFactor;
+        curPower0_ = bestPower0_ * config_.downPowerFactor;
+    }
+    controller_.setReference(curIps0_, curPower0_);
+    state_ = State::Settling;
+    counter_ = 0;
+    accIps_ = 0.0;
+    accPower_ = 0.0;
+}
+
+void
+Optimizer::observe(const Matrix &y)
+{
+    switch (state_) {
+      case State::Idle:
+        return;
+      case State::Settling:
+        if (++counter_ >= config_.settleEpochs) {
+            state_ = State::Measuring;
+            counter_ = 0;
+        }
+        return;
+      case State::Measuring: {
+        accIps_ += y[kOutputIps];
+        accPower_ += y[kOutputPower];
+        if (++counter_ < config_.measureEpochs)
+            return;
+        const double ips = accIps_ / config_.measureEpochs;
+        const double power = accPower_ / config_.measureEpochs;
+        const double m = metric(ips, power);
+        if (m > bestMetric_ * config_.acceptMargin &&
+            config_.confirmAccepts) {
+            // Provisional accept: re-measure before committing.
+            state_ = State::Confirming;
+            counter_ = 0;
+            accIps_ = 0.0;
+            accPower_ = 0.0;
+            return;
+        }
+        ++trials_;
+        if (m > bestMetric_ * config_.acceptMargin) {
+            // Keep the direction; accept the point. Targets anchor on
+            // what was *achieved*, since the references may have been
+            // unreachable (§V: "the optimizer does not choose the new
+            // point and moves on").
+            bestMetric_ = m;
+            bestIps0_ = std::max(ips, 0.05);
+            bestPower0_ = std::max(power, 0.1);
+        } else {
+            direction_ = -direction_;
+        }
+        proposeNext();
+        return;
+      }
+      case State::Confirming: {
+        accIps_ += y[kOutputIps];
+        accPower_ += y[kOutputPower];
+        if (++counter_ < config_.measureEpochs)
+            return;
+        const double ips = accIps_ / config_.measureEpochs;
+        const double power = accPower_ / config_.measureEpochs;
+        const double m = metric(ips, power);
+        ++trials_;
+        if (m > bestMetric_ * config_.acceptMargin) {
+            bestMetric_ = m;
+            bestIps0_ = std::max(ips, 0.05);
+            bestPower0_ = std::max(power, 0.1);
+        } else {
+            direction_ = -direction_;
+        }
+        proposeNext();
+        return;
+      }
+    }
+}
+
+} // namespace mimoarch

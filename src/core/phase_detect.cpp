@@ -1,0 +1,69 @@
+#include "core/phase_detect.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+PhaseDetector::PhaseDetector(const PhaseDetectorConfig &config)
+    : config_(config)
+{
+    if (config_.alpha <= 0 || config_.alpha >= 1)
+        fatal("phase detector alpha must be in (0, 1)");
+}
+
+void
+PhaseDetector::reset()
+{
+    meanIpc_ = 0.0;
+    meanMpki_ = 0.0;
+    epochs_ = 0;
+    lastDetection_ = 0;
+    detections_ = 0;
+    deviatingStreak_ = 0;
+}
+
+bool
+PhaseDetector::observe(double ipc, double l2_mpki)
+{
+    ++epochs_;
+    if (epochs_ == 1) {
+        meanIpc_ = ipc;
+        meanMpki_ = l2_mpki;
+        return false;
+    }
+
+    bool changed = false;
+    if (epochs_ > config_.warmupEpochs &&
+        epochs_ - lastDetection_ > config_.cooldownEpochs) {
+        const double ipc_dev = std::abs(ipc - meanIpc_) /
+            std::max(meanIpc_, 0.05);
+        const double mpki_dev = std::abs(l2_mpki - meanMpki_) /
+            std::max(meanMpki_, 0.5);
+        if (ipc_dev > config_.relativeThreshold ||
+            mpki_dev > config_.relativeThreshold) {
+            // Require the deviation to persist; single-epoch spikes are
+            // measurement noise, not phases.
+            ++deviatingStreak_;
+            if (deviatingStreak_ >= config_.persistenceEpochs) {
+                changed = true;
+                ++detections_;
+                lastDetection_ = epochs_;
+                deviatingStreak_ = 0;
+                // Re-anchor the signature on the new phase.
+                meanIpc_ = ipc;
+                meanMpki_ = l2_mpki;
+            }
+        } else {
+            deviatingStreak_ = 0;
+        }
+    }
+    if (!changed) {
+        meanIpc_ += config_.alpha * (ipc - meanIpc_);
+        meanMpki_ += config_.alpha * (l2_mpki - meanMpki_);
+    }
+    return changed;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Runtime phase-change detection in the style of Isci et al. [8]: an
+ * exponentially weighted signature of (IPC, L2 MPKI) is compared
+ * against the current observation; a large relative deviation flags a
+ * phase change (which restarts the optimizer search, §VI-C).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace mimoarch {
+
+/** Detection thresholds. */
+struct PhaseDetectorConfig
+{
+    double alpha = 0.02;            //!< EWMA smoothing factor.
+    double relativeThreshold = 0.6; //!< Deviation that flags a change.
+    unsigned cooldownEpochs = 400;  //!< Min epochs between detections.
+    unsigned warmupEpochs = 100;    //!< No detection before this.
+    /** Consecutive deviating epochs required (noise rejection). */
+    unsigned persistenceEpochs = 8;
+};
+
+/** EWMA-based phase-change detector. */
+class PhaseDetector
+{
+  public:
+    explicit PhaseDetector(const PhaseDetectorConfig &config = {});
+
+    /** Feed one epoch's signature. @return true on a phase change. */
+    bool observe(double ipc, double l2_mpki);
+
+    /** Detections so far. */
+    uint64_t detections() const { return detections_; }
+
+    void reset();
+
+  private:
+    PhaseDetectorConfig config_;
+    double meanIpc_ = 0.0;
+    double meanMpki_ = 0.0;
+    uint64_t epochs_ = 0;
+    uint64_t lastDetection_ = 0;
+    uint64_t detections_ = 0;
+    unsigned deviatingStreak_ = 0;
+};
+
+} // namespace mimoarch

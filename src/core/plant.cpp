@@ -1,0 +1,38 @@
+#include "core/plant.hpp"
+
+namespace mimoarch {
+
+SimPlant::SimPlant(const AppSpec &app, const KnobSpace &knob_space,
+                   const ProcessorConfig &config, uint64_t seed_salt)
+    : knobs_(knob_space), stream_(app, seed_salt),
+      proc_(config, &stream_)
+{}
+
+Matrix
+SimPlant::step(const KnobSettings &settings)
+{
+    knobs_.apply(proc_, settings);
+    last_ = proc_.runEpoch();
+    stream_.nextEpoch();
+    Matrix y(kNumPlantOutputs, 1);
+    y[kOutputIps] = last_.ips;
+    y[kOutputPower] = last_.powerWatts;
+    return y;
+}
+
+KnobSettings
+SimPlant::currentSettings() const
+{
+    return knobs_.read(proc_);
+}
+
+void
+SimPlant::warmup(size_t epochs)
+{
+    for (size_t i = 0; i < epochs; ++i) {
+        last_ = proc_.runEpoch();
+        stream_.nextEpoch();
+    }
+}
+
+} // namespace mimoarch

@@ -1,0 +1,55 @@
+#include "core/qoe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mimoarch {
+
+QoeBatteryModel::QoeBatteryModel(const QoeBatteryConfig &config)
+    : config_(config), remaining_(config.initialEnergyJoules)
+{
+    if (config_.initialEnergyJoules <= 0)
+        fatal("battery needs positive initial energy");
+    if (config_.updatePeriodEpochs == 0)
+        fatal("battery update period must be positive");
+    current_ = {config_.initialIps, config_.initialPower};
+}
+
+double
+QoeBatteryModel::chargeFraction() const
+{
+    return std::clamp(remaining_ / config_.initialEnergyJoules, 0.0, 1.0);
+}
+
+Targets
+QoeBatteryModel::targets() const
+{
+    return current_;
+}
+
+bool
+QoeBatteryModel::consumeEpoch(double energy_joules)
+{
+    if (energy_joules < 0)
+        fatal("negative epoch energy");
+    remaining_ = std::max(0.0, remaining_ - energy_joules);
+    ++epoch_;
+    if (epoch_ % config_.updatePeriodEpochs != 0)
+        return false;
+
+    // QoE model: the tolerable performance degrades sublinearly with
+    // charge at first (users barely notice), then sharply near empty —
+    // a power law on the remaining fraction (Yan et al. [36] shape).
+    const double f = std::pow(chargeFraction(), config_.qoeExponent);
+    Targets next;
+    next.ips = config_.initialIps *
+        std::max(config_.minIpsFraction, f);
+    next.power = config_.initialPower *
+        std::max(config_.minPowerFraction, f);
+    const bool changed = std::abs(next.ips - current_.ips) > 1e-12 ||
+        std::abs(next.power - current_.power) > 1e-12;
+    current_ = next;
+    return changed;
+}
+
+} // namespace mimoarch

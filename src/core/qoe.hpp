@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Time-varying tracking support (paper §V and §VII-B2): a high-level
+ * agent lowers the (IPS, power) targets as the battery depletes, using
+ * a Quality-of-Experience model in the spirit of Yan et al. [36] — the
+ * tolerable performance level decreases with the remaining charge so
+ * the battery outlives the session.
+ *
+ * The paper's experiment: targets change every 2,000 epochs of 50 us,
+ * with a total energy supply of 1 J.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+/** Battery/QoE schedule parameters. */
+struct QoeBatteryConfig
+{
+    double initialEnergyJoules = 1.0;
+    uint64_t updatePeriodEpochs = 2000;
+    double epochSeconds = 50e-6;
+    double initialIps = 2.0;   //!< Full-battery IPS target (BIPS).
+    double initialPower = 2.0; //!< Full-battery power target (W).
+    double minIpsFraction = 0.25;  //!< Floor as a fraction of initial.
+    double minPowerFraction = 0.3;
+    /** QoE exponent: how aggressively targets fall with charge. */
+    double qoeExponent = 0.7;
+};
+
+/** Pair of time-varying targets. */
+struct Targets
+{
+    double ips = 0.0;
+    double power = 0.0;
+};
+
+/**
+ * Tracks battery charge and emits the target schedule. Call
+ * consumeEpoch() with each epoch's measured energy; targets() returns
+ * the current references.
+ */
+class QoeBatteryModel
+{
+  public:
+    explicit QoeBatteryModel(const QoeBatteryConfig &config = {});
+
+    /** Account one epoch's energy. @return true when targets changed. */
+    bool consumeEpoch(double energy_joules);
+
+    /** Current targets from the QoE model. */
+    Targets targets() const;
+
+    /** Remaining charge fraction in [0, 1]. */
+    double chargeFraction() const;
+
+    bool depleted() const { return remaining_ <= 0.0; }
+    uint64_t epoch() const { return epoch_; }
+
+  private:
+    QoeBatteryConfig config_;
+    double remaining_;
+    uint64_t epoch_ = 0;
+    Targets current_;
+};
+
+} // namespace mimoarch

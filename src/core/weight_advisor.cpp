@@ -1,0 +1,89 @@
+#include "core/weight_advisor.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+WeightAdvisor::WeightAdvisor(double rank_step, double output_input_ratio)
+    : rankStep_(rank_step), outputInputRatio_(output_input_ratio)
+{
+    if (rank_step <= 1.0)
+        fatal("weight advisor: rank step must exceed 1");
+    if (output_input_ratio <= 0.0)
+        fatal("weight advisor: output/input ratio must be positive");
+}
+
+int
+WeightAdvisor::outputRank(OutputKind kind)
+{
+    switch (kind) {
+      case OutputKind::CorrectnessCritical:
+        return 2;
+      case OutputKind::Budget:
+        return 1;
+      case OutputKind::Performance:
+        return 0;
+    }
+    panic("unknown output kind");
+}
+
+int
+WeightAdvisor::inputRank(InputKind kind)
+{
+    switch (kind) {
+      case InputKind::PowerGating:
+        return 2;
+      case InputKind::Frequency:
+        return 1;
+      case InputKind::Pipeline:
+        return 0;
+    }
+    panic("unknown input kind");
+}
+
+LqgWeights
+WeightAdvisor::suggest(const std::vector<OutputSpec> &outputs,
+                       const std::vector<InputSpec> &inputs) const
+{
+    if (outputs.empty() || inputs.empty())
+        fatal("weight advisor: need at least one output and one input");
+    if (outputs.size() > inputs.size()) {
+        fatal("weight advisor: MIMO requires outputs (", outputs.size(),
+              ") <= inputs (", inputs.size(), ")");
+    }
+
+    LqgWeights w;
+    // Outputs: base weight 1 for Performance, x rankStep per rank.
+    for (const OutputSpec &o : outputs) {
+        w.outputWeights.push_back(
+            std::pow(rankStep_, outputRank(o.kind)));
+    }
+
+    // Inputs: the change-overhead rank sets the base; the setting-count
+    // correction raises the weight of knobs with many settings so the
+    // controller uses small steps across the whole range (§IV-B2).
+    // Reference: 4 settings (the paper's cache knob).
+    double max_input = 0.0;
+    for (const InputSpec &i : inputs) {
+        if (i.numSettings < 2)
+            fatal("weight advisor: input '", i.name,
+                  "' needs >= 2 settings");
+        const double base = std::pow(rankStep_, inputRank(i.kind));
+        const double settings_corr =
+            static_cast<double>(i.numSettings) / 4.0;
+        const double weight = base * settings_corr;
+        w.inputWeights.push_back(weight);
+        max_input = std::max(max_input, weight);
+    }
+
+    // Normalize so that the most reluctant input sits at
+    // 1/output_input_ratio of the least important output (weight 1).
+    const double scale = 1.0 / (max_input * outputInputRatio_);
+    for (double &wi : w.inputWeights)
+        wi *= scale;
+    return w;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Qualitative-to-quantitative weight selection (paper Table II and
+ * §IV-B2).
+ *
+ * The paper ranks architectural measures qualitatively: among outputs,
+ * correctness-critical measures (voltage guardband, temperature) weigh
+ * more than power/utilization/energy, which weigh more than performance
+ * measures; among inputs, high-overhead actuators (power gating) weigh
+ * more than frequency, which weighs more than pipeline resizing — with
+ * an adjustment for the number of available settings (more settings ->
+ * relatively higher weight so the controller takes small steps and uses
+ * the whole range).
+ *
+ * The advisor turns those rankings into concrete diagonal weights with
+ * the paper's spacing rule: one rank step is a 10x quadratic-cost step
+ * (the paper's example: a 100x weight ratio means a 1% deviation on one
+ * output trades against 10% on the other).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/lqg.hpp"
+
+namespace mimoarch {
+
+/** Qualitative classes for controlled outputs (Table II row 2). */
+enum class OutputKind {
+    CorrectnessCritical, //!< Voltage guardband, temperature.
+    Budget,              //!< Power, utilization, energy.
+    Performance,         //!< Frame rate, IPS, result quality.
+};
+
+/** Qualitative classes for manipulated inputs (Table II row 3). */
+enum class InputKind {
+    PowerGating, //!< Cache/core power gating: expensive, stateful.
+    Frequency,   //!< DVFS: microseconds per change.
+    Pipeline,    //!< Issue width, ld/st queue, ROB: near-free.
+};
+
+/** One output to be controlled. */
+struct OutputSpec
+{
+    std::string name;
+    OutputKind kind = OutputKind::Performance;
+};
+
+/** One input to be actuated. */
+struct InputSpec
+{
+    std::string name;
+    InputKind kind = InputKind::Frequency;
+    /** Number of discrete settings the actuator exposes. */
+    unsigned numSettings = 2;
+};
+
+/** Builds LqgWeights from qualitative descriptions. */
+class WeightAdvisor
+{
+  public:
+    /**
+     * @param rank_step quadratic-cost ratio between adjacent ranks
+     *        (paper default: 10x per rank, so two ranks = 100x).
+     * @param output_input_ratio overall priority of tracking outputs
+     *        over holding inputs (the §IV-B2 ripple/sluggish tradeoff,
+     *        calibrated per substrate).
+     */
+    WeightAdvisor(double rank_step = 10.0,
+                  double output_input_ratio = 1000.0);
+
+    /** Suggested weights for the given outputs and inputs. */
+    LqgWeights suggest(const std::vector<OutputSpec> &outputs,
+                       const std::vector<InputSpec> &inputs) const;
+
+    /** Rank of an output kind (higher = more important). */
+    static int outputRank(OutputKind kind);
+
+    /** Rank of an input kind (higher = more reluctant to change). */
+    static int inputRank(InputKind kind);
+
+  private:
+    double rankStep_;
+    double outputInputRatio_;
+};
+
+} // namespace mimoarch

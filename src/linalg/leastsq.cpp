@@ -1,0 +1,132 @@
+#include "linalg/leastsq.hpp"
+
+#include <cmath>
+
+namespace mimoarch {
+
+QrDecomposition::QrDecomposition(const Matrix &a)
+    : qr_(a), beta_(std::min(a.rows(), a.cols()), 0.0)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+    if (m < n)
+        panic("QR requires rows >= cols, got ", m, "x", n);
+
+    for (size_t k = 0; k < n; ++k) {
+        // Build the Householder reflector for column k.
+        double norm_x = 0.0;
+        for (size_t i = k; i < m; ++i)
+            norm_x += qr_(i, k) * qr_(i, k);
+        norm_x = std::sqrt(norm_x);
+        if (norm_x < 1e-300) {
+            fullRank_ = false;
+            beta_[k] = 0.0;
+            rdiag_.push_back(0.0);
+            continue;
+        }
+        const double alpha = qr_(k, k) >= 0 ? -norm_x : norm_x;
+        const double vk = qr_(k, k) - alpha;
+        qr_(k, k) = vk;
+        // beta = 2 / (v^T v) with v = [vk; column below].
+        double vtv = vk * vk;
+        for (size_t i = k + 1; i < m; ++i)
+            vtv += qr_(i, k) * qr_(i, k);
+        beta_[k] = vtv > 0 ? 2.0 / vtv : 0.0;
+
+        // Apply the reflector to the remaining columns.
+        for (size_t c = k + 1; c < n; ++c) {
+            double s = 0.0;
+            for (size_t i = k; i < m; ++i)
+                s += qr_(i, k) * qr_(i, c);
+            s *= beta_[k];
+            for (size_t i = k; i < m; ++i)
+                qr_(i, c) -= s * qr_(i, k);
+        }
+        // Store alpha as the R diagonal by convention: remember it in place
+        // of the eliminated entries via a parallel record. We stash alpha
+        // in a separate pass below; store in rdiag_.
+        rdiag_.push_back(alpha);
+        if (std::abs(alpha) < 1e-12)
+            fullRank_ = false;
+    }
+}
+
+Matrix
+QrDecomposition::qTransposeTimes(const Matrix &b) const
+{
+    const size_t m = qr_.rows();
+    const size_t n = qr_.cols();
+    if (b.rows() != m)
+        panic("qTransposeTimes: rhs has ", b.rows(), " rows, expected ", m);
+    Matrix y = b;
+    for (size_t k = 0; k < n; ++k) {
+        if (beta_[k] == 0.0)
+            continue;
+        for (size_t c = 0; c < y.cols(); ++c) {
+            double s = 0.0;
+            for (size_t i = k; i < m; ++i)
+                s += qr_(i, k) * y(i, c);
+            s *= beta_[k];
+            for (size_t i = k; i < m; ++i)
+                y(i, c) -= s * qr_(i, k);
+        }
+    }
+    return y;
+}
+
+Matrix
+QrDecomposition::r() const
+{
+    const size_t n = qr_.cols();
+    Matrix rm(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        rm(i, i) = rdiag_[i];
+        for (size_t j = i + 1; j < n; ++j)
+            rm(i, j) = qr_(i, j);
+    }
+    return rm;
+}
+
+Matrix
+QrDecomposition::solve(const Matrix &b) const
+{
+    if (!fullRank_)
+        panic("QR solve on a rank-deficient matrix");
+    const size_t n = qr_.cols();
+    Matrix y = qTransposeTimes(b);
+    Matrix x(n, b.cols());
+    for (size_t c = 0; c < b.cols(); ++c) {
+        for (size_t ii = n; ii-- > 0;) {
+            double s = y(ii, c);
+            for (size_t j = ii + 1; j < n; ++j)
+                s -= qr_(ii, j) * x(j, c);
+            x(ii, c) = s / rdiag_[ii];
+        }
+    }
+    return x;
+}
+
+Matrix
+solveLeastSquares(const Matrix &a, const Matrix &b)
+{
+    QrDecomposition qr(a);
+    if (!qr.fullRank())
+        fatal("least squares: regressor matrix is rank deficient; "
+              "add regularization or more data");
+    return qr.solve(b);
+}
+
+Matrix
+solveRidge(const Matrix &a, const Matrix &b, double lambda)
+{
+    if (lambda < 0)
+        fatal("solveRidge: lambda must be non-negative");
+    if (lambda == 0)
+        return solveLeastSquares(a, b);
+    const size_t n = a.cols();
+    Matrix a_aug = vcat(a, Matrix::identity(n) * std::sqrt(lambda));
+    Matrix b_aug = vcat(b, Matrix(n, b.cols()));
+    return solveLeastSquares(a_aug, b_aug);
+}
+
+} // namespace mimoarch

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Householder QR factorization and (ridge-regularized) least squares.
+ *
+ * This is the numerical core of black-box system identification: the ARX
+ * fit solves min ||Phi * theta - Y||^2 (+ lambda ||theta||^2) for a tall
+ * regressor matrix Phi.
+ */
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Householder QR of an m x n (m >= n) real matrix. */
+class QrDecomposition
+{
+  public:
+    /** Factor @p a. Check fullRank() before solving. */
+    explicit QrDecomposition(const Matrix &a);
+
+    /** True when no diagonal of R collapsed to ~0. */
+    bool fullRank() const { return fullRank_; }
+
+    /**
+     * Least-squares solution of A X = B (minimizes the residual per
+     * column of B).
+     */
+    Matrix solve(const Matrix &b) const;
+
+    /** The upper-triangular n x n factor R. */
+    Matrix r() const;
+
+    /** Apply Q^T to a matrix with m rows. */
+    Matrix qTransposeTimes(const Matrix &b) const;
+
+  private:
+    Matrix qr_;                 //!< Householder vectors below R.
+    std::vector<double> beta_;  //!< Householder scalars.
+    std::vector<double> rdiag_; //!< Diagonal of R.
+    bool fullRank_ = true;
+};
+
+/**
+ * Solve min ||A X - B||^2 by QR. A must have at least as many rows as
+ * columns. fatal() when A is rank deficient.
+ */
+Matrix solveLeastSquares(const Matrix &a, const Matrix &b);
+
+/**
+ * Ridge-regularized least squares:
+ * min ||A X - B||^2 + lambda ||X||^2, solved by stacking sqrt(lambda) I
+ * under A. Always full rank for lambda > 0.
+ */
+Matrix solveRidge(const Matrix &a, const Matrix &b, double lambda);
+
+} // namespace mimoarch

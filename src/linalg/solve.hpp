@@ -1,0 +1,149 @@
+/**
+ * @file
+ * LU decomposition with partial pivoting, linear solves, and inversion.
+ *
+ * Templated on the scalar type: the control code solves real systems while
+ * the frequency-response code solves complex ones ((zI - A) X = B).
+ */
+
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** LU factorization P*A = L*U with partial pivoting. */
+template <typename T>
+class LuDecomposition
+{
+  public:
+    /** Factor the square matrix @p a. Check ok() before solving. */
+    explicit LuDecomposition(const MatrixT<T> &a)
+        : lu_(a), perm_(a.rows()), parity_(1.0)
+    {
+        if (!a.isSquare())
+            panic("LU of a non-square matrix");
+        const size_t n = a.rows();
+        for (size_t i = 0; i < n; ++i)
+            perm_[i] = i;
+
+        for (size_t k = 0; k < n; ++k) {
+            // Pick the pivot with the largest magnitude in column k.
+            size_t pivot = k;
+            double best = std::abs(std::complex<double>(lu_(k, k)));
+            for (size_t i = k + 1; i < n; ++i) {
+                const double mag = std::abs(std::complex<double>(lu_(i, k)));
+                if (mag > best) {
+                    best = mag;
+                    pivot = i;
+                }
+            }
+            if (best < 1e-300) {
+                singular_ = true;
+                return;
+            }
+            if (pivot != k) {
+                for (size_t c = 0; c < n; ++c)
+                    std::swap(lu_(k, c), lu_(pivot, c));
+                std::swap(perm_[k], perm_[pivot]);
+                parity_ = -parity_;
+            }
+            for (size_t i = k + 1; i < n; ++i) {
+                const T factor = lu_(i, k) / lu_(k, k);
+                lu_(i, k) = factor;
+                for (size_t c = k + 1; c < n; ++c)
+                    lu_(i, c) -= factor * lu_(k, c);
+            }
+        }
+    }
+
+    /** False when the matrix was numerically singular. */
+    bool ok() const { return !singular_; }
+
+    /** Solve A X = B for (possibly multi-column) B. */
+    MatrixT<T>
+    solve(const MatrixT<T> &b) const
+    {
+        if (singular_)
+            panic("solve() on a singular LU factorization");
+        const size_t n = lu_.rows();
+        if (b.rows() != n)
+            panic("LU solve: rhs has ", b.rows(), " rows, expected ", n);
+        MatrixT<T> x(n, b.cols());
+        // Apply the permutation, then forward/back substitution.
+        for (size_t c = 0; c < b.cols(); ++c) {
+            for (size_t i = 0; i < n; ++i)
+                x(i, c) = b(perm_[i], c);
+            for (size_t i = 1; i < n; ++i)
+                for (size_t k = 0; k < i; ++k)
+                    x(i, c) -= lu_(i, k) * x(k, c);
+            for (size_t ii = n; ii-- > 0;) {
+                for (size_t k = ii + 1; k < n; ++k)
+                    x(ii, c) -= lu_(ii, k) * x(k, c);
+                x(ii, c) /= lu_(ii, ii);
+            }
+        }
+        return x;
+    }
+
+    /** Inverse of the factored matrix. */
+    MatrixT<T>
+    inverse() const
+    {
+        return solve(MatrixT<T>::identity(lu_.rows()));
+    }
+
+    /** Determinant of the factored matrix. */
+    T
+    determinant() const
+    {
+        if (singular_)
+            return T{};
+        T d{parity_};
+        for (size_t i = 0; i < lu_.rows(); ++i)
+            d *= lu_(i, i);
+        return d;
+    }
+
+  private:
+    MatrixT<T> lu_;
+    std::vector<size_t> perm_;
+    double parity_;
+    bool singular_ = false;
+};
+
+/** Solve A X = B; fatal if A is singular. */
+template <typename T>
+MatrixT<T>
+solve(const MatrixT<T> &a, const MatrixT<T> &b)
+{
+    LuDecomposition<T> lu(a);
+    if (!lu.ok())
+        fatal("solve(): matrix is singular");
+    return lu.solve(b);
+}
+
+/** Inverse of A; fatal if singular. */
+template <typename T>
+MatrixT<T>
+inverse(const MatrixT<T> &a)
+{
+    LuDecomposition<T> lu(a);
+    if (!lu.ok())
+        fatal("inverse(): matrix is singular");
+    return lu.inverse();
+}
+
+/** Determinant of A. */
+template <typename T>
+T
+determinant(const MatrixT<T> &a)
+{
+    return LuDecomposition<T>(a).determinant();
+}
+
+} // namespace mimoarch

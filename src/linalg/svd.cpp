@@ -1,0 +1,155 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mimoarch {
+
+namespace {
+
+/**
+ * One-sided Jacobi on the columns of @p work (m x n): repeatedly rotate
+ * column pairs until all are mutually orthogonal. @p v accumulates the
+ * right rotations.
+ */
+void
+jacobiOrthogonalize(Matrix &work, Matrix &v)
+{
+    const size_t m = work.rows();
+    const size_t n = work.cols();
+    const double eps = 1e-14;
+    const int max_sweeps = 60;
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool converged = true;
+        for (size_t p = 0; p + 1 < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (size_t i = 0; i < m; ++i) {
+                    alpha += work(i, p) * work(i, p);
+                    beta += work(i, q) * work(i, q);
+                    gamma += work(i, p) * work(i, q);
+                }
+                if (std::abs(gamma) <= eps * std::sqrt(alpha * beta))
+                    continue;
+                converged = false;
+                const double zeta = (beta - alpha) / (2.0 * gamma);
+                const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                    (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (size_t i = 0; i < m; ++i) {
+                    const double wp = work(i, p);
+                    const double wq = work(i, q);
+                    work(i, p) = c * wp - s * wq;
+                    work(i, q) = s * wp + c * wq;
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    const double vp = v(i, p);
+                    const double vq = v(i, q);
+                    v(i, p) = c * vp - s * vq;
+                    v(i, q) = s * vp + c * vq;
+                }
+            }
+        }
+        if (converged)
+            break;
+    }
+}
+
+} // namespace
+
+SvdResult
+svd(const Matrix &a)
+{
+    if (a.empty())
+        fatal("svd of an empty matrix");
+
+    // Work on A (or A^T when wide) so columns <= rows.
+    const bool transposed = a.cols() > a.rows();
+    Matrix work = transposed ? a.transpose() : a;
+    const size_t n = work.cols();
+
+    Matrix v = Matrix::identity(n);
+    jacobiOrthogonalize(work, v);
+
+    // Column norms are the singular values.
+    std::vector<double> sigma(n);
+    for (size_t c = 0; c < n; ++c) {
+        double s = 0.0;
+        for (size_t i = 0; i < work.rows(); ++i)
+            s += work(i, c) * work(i, c);
+        sigma[c] = std::sqrt(s);
+    }
+
+    // Sort descending, permuting U and V accordingly.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+
+    Matrix u_sorted(work.rows(), n);
+    Matrix v_sorted(n, n);
+    std::vector<double> s_sorted(n);
+    for (size_t c = 0; c < n; ++c) {
+        const size_t src = order[c];
+        s_sorted[c] = sigma[src];
+        const double inv = sigma[src] > 1e-300 ? 1.0 / sigma[src] : 0.0;
+        for (size_t i = 0; i < work.rows(); ++i)
+            u_sorted(i, c) = work(i, src) * inv;
+        for (size_t i = 0; i < n; ++i)
+            v_sorted(i, c) = v(i, src);
+    }
+
+    SvdResult res;
+    res.s = std::move(s_sorted);
+    if (transposed) {
+        res.u = std::move(v_sorted);
+        res.v = std::move(u_sorted);
+    } else {
+        res.u = std::move(u_sorted);
+        res.v = std::move(v_sorted);
+    }
+    return res;
+}
+
+double
+maxSingularValue(const Matrix &a)
+{
+    const SvdResult r = svd(a);
+    return r.s.empty() ? 0.0 : r.s.front();
+}
+
+double
+maxSingularValue(const CMatrix &a)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+    Matrix embed(2 * m, 2 * n);
+    for (size_t r = 0; r < m; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+            const double re = a(r, c).real();
+            const double im = a(r, c).imag();
+            embed(r, c) = re;
+            embed(r, c + n) = -im;
+            embed(r + m, c) = im;
+            embed(r + m, c + n) = re;
+        }
+    }
+    return maxSingularValue(embed);
+}
+
+double
+conditionNumber(const Matrix &a)
+{
+    const SvdResult r = svd(a);
+    const double smax = r.s.front();
+    const double smin = r.s.back();
+    if (smin < 1e-300)
+        return std::numeric_limits<double>::infinity();
+    return smax / smin;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Singular value decomposition via one-sided Jacobi rotations.
+ *
+ * Used for robust stability analysis (the H-infinity norm is the peak of
+ * the largest singular value over frequency) and for conditioning checks
+ * in system identification. One-sided Jacobi is slow asymptotically but
+ * unbeatably simple and accurate for the tiny matrices used here.
+ */
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Result of an SVD: a = u * diag(s) * v^T. */
+struct SvdResult
+{
+    Matrix u;              //!< m x n with orthonormal columns.
+    std::vector<double> s; //!< Singular values, descending.
+    Matrix v;              //!< n x n orthogonal.
+};
+
+/** Compute the thin SVD of a real m x n matrix (m >= n or m < n). */
+SvdResult svd(const Matrix &a);
+
+/** Largest singular value of a real matrix. */
+double maxSingularValue(const Matrix &a);
+
+/**
+ * Largest singular value of a complex matrix, computed from the real
+ * embedding [re -im; im re] (whose singular values are those of the
+ * complex matrix, doubled in multiplicity).
+ */
+double maxSingularValue(const CMatrix &a);
+
+/** 2-norm condition number; returns +inf for singular matrices. */
+double conditionNumber(const Matrix &a);
+
+} // namespace mimoarch

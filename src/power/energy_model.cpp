@@ -1,0 +1,85 @@
+#include "power/energy_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+PowerCalculator::PowerCalculator(const EnergyModelParams &params)
+    : params_(params)
+{
+    if (params_.refVoltage <= 0)
+        fatal("energy model reference voltage must be positive");
+}
+
+PowerResult
+PowerCalculator::epochPower(const CoreCounters &delta,
+                            const PowerEpochContext &ctx) const
+{
+    if (ctx.timeSeconds <= 0)
+        fatal("epochPower needs a positive epoch duration");
+
+    const auto cls = [&](OpClass c) {
+        return static_cast<double>(
+            delta.issuedByClass[static_cast<size_t>(c)]);
+    };
+
+    const double v_scale_dyn =
+        (ctx.voltage / params_.refVoltage) * (ctx.voltage /
+                                              params_.refVoltage);
+    const double rob_scale = std::sqrt(
+        static_cast<double>(ctx.robActive) /
+        static_cast<double>(ctx.robMax));
+    const double l1_scale = std::sqrt(
+        static_cast<double>(ctx.l1dWaysOn) /
+        static_cast<double>(ctx.l1dWaysMax));
+    const double l2_scale = std::sqrt(
+        static_cast<double>(ctx.l2WaysOn) /
+        static_cast<double>(ctx.l2WaysMax));
+
+    double nj = 0.0;
+    nj += cls(OpClass::IntAlu) * params_.aluOpNj;
+    nj += cls(OpClass::IntMul) * params_.mulOpNj;
+    nj += cls(OpClass::IntDiv) * params_.divOpNj;
+    nj += cls(OpClass::FpAlu) * params_.fpAluOpNj;
+    nj += cls(OpClass::FpMul) * params_.fpMulOpNj;
+    nj += cls(OpClass::FpDiv) * params_.fpDivOpNj;
+    nj += cls(OpClass::Branch) * params_.branchOpNj;
+    nj += (cls(OpClass::Load) + cls(OpClass::Store)) *
+        params_.loadStoreBaseNj;
+    nj += static_cast<double>(delta.fetched) * params_.fetchedOpNj;
+    nj += static_cast<double>(delta.committed) * params_.commitOpNj;
+    nj += static_cast<double>(delta.dispatched) * params_.robAccessNj *
+        rob_scale;
+    nj += static_cast<double>(delta.l1dAccesses) * params_.l1AccessNj *
+        l1_scale;
+    nj += static_cast<double>(delta.l1iAccesses) * params_.l1iAccessNj;
+    nj += static_cast<double>(delta.l2Accesses) * params_.l2AccessNj *
+        l2_scale;
+    nj += static_cast<double>(delta.memAccesses) * params_.memAccessNj;
+    nj += static_cast<double>(delta.cacheWritebacks) * params_.writebackNj;
+    nj += static_cast<double>(delta.cycles) * params_.clockTreeNjPerCycle;
+    nj += ctx.extraNj;
+    nj *= v_scale_dyn;
+
+    const double v_scale_leak = ctx.voltage / params_.refVoltage;
+    double leak_w = params_.coreLeakW;
+    leak_w += params_.robLeakW * static_cast<double>(ctx.robActive) /
+        static_cast<double>(ctx.robMax);
+    leak_w += params_.l1dLeakW * static_cast<double>(ctx.l1dWaysOn) /
+        static_cast<double>(ctx.l1dWaysMax);
+    leak_w += params_.l1iLeakW;
+    leak_w += params_.l2LeakW * static_cast<double>(ctx.l2WaysOn) /
+        static_cast<double>(ctx.l2WaysMax);
+    leak_w *= v_scale_leak;
+
+    PowerResult res;
+    res.dynamicWatts = nj * 1e-9 / ctx.timeSeconds;
+    res.leakageWatts = leak_w;
+    res.totalWatts = res.dynamicWatts + res.leakageWatts;
+    res.energyJoules = res.totalWatts * ctx.timeSeconds;
+    return res;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Analytic power model for the core plus caches — the substitution for
+ * McPAT/CACTI in the paper's infrastructure.
+ *
+ * Dynamic energy: per-event costs at a reference voltage, scaled by
+ * (V/Vref)^2 (CV^2 switching). Per-access cache energies scale with the
+ * square root of the enabled associativity, the usual CACTI trend for
+ * way-partitioned arrays. ROB access energy scales with the active
+ * partition count (Ponomarev et al. [37]).
+ *
+ * Static power: per-structure leakage proportional to powered size and
+ * roughly linear in voltage. Way gating and ROB partition gating remove
+ * the corresponding leakage share — this is precisely why the cache-size
+ * and ROB knobs save power at low utilization.
+ */
+
+#pragma once
+
+#include "sim/stats.hpp"
+
+namespace mimoarch {
+
+/** Tunable constants of the energy model (defaults target ~A15 scale). */
+struct EnergyModelParams
+{
+    double refVoltage = 1.0;
+
+    // Dynamic energy per event, in nJ at the reference voltage.
+    double aluOpNj = 0.08;
+    double mulOpNj = 0.15;
+    double divOpNj = 0.30;
+    double fpAluOpNj = 0.20;
+    double fpMulOpNj = 0.25;
+    double fpDivOpNj = 0.45;
+    double branchOpNj = 0.08;
+    double loadStoreBaseNj = 0.05; //!< AGU + LSQ per memory op.
+    double fetchedOpNj = 0.05;     //!< Fetch/decode per micro-op.
+    double commitOpNj = 0.05;      //!< Rename/commit per micro-op.
+    double robAccessNj = 0.04;     //!< Per dispatch, at full ROB size.
+    double l1AccessNj = 0.10;      //!< Per L1D access, at 4 ways.
+    double l1iAccessNj = 0.08;     //!< Per L1I access.
+    double l2AccessNj = 0.40;      //!< Per L2 access, at 8 ways.
+    double memAccessNj = 4.0;      //!< DRAM + bus per access.
+    double writebackNj = 0.40;
+    double clockTreeNjPerCycle = 0.14; //!< Clock + global per cycle.
+
+    // Leakage power in W at the reference voltage, full-size structures.
+    double coreLeakW = 0.25;
+    double robLeakW = 0.06;  //!< At robSizeMax partitions on.
+    double l1dLeakW = 0.045; //!< At 4 ways on.
+    double l1iLeakW = 0.035;
+    double l2LeakW = 0.16;   //!< At 8 ways on.
+};
+
+/** Structure sizing needed to scale energies, sampled per epoch. */
+struct PowerEpochContext
+{
+    double timeSeconds = 0.0;
+    double freqGhz = 1.0;
+    double voltage = 1.0;
+    unsigned robActive = 128;
+    unsigned robMax = 128;
+    unsigned l1dWaysOn = 4;
+    unsigned l1dWaysMax = 4;
+    unsigned l2WaysOn = 8;
+    unsigned l2WaysMax = 8;
+    /** Extra energy charged this epoch (e.g. gating flush writebacks). */
+    double extraNj = 0.0;
+};
+
+/** Power breakdown for one epoch. */
+struct PowerResult
+{
+    double dynamicWatts = 0.0;
+    double leakageWatts = 0.0;
+    double totalWatts = 0.0;
+    double energyJoules = 0.0;
+};
+
+/** Computes epoch power from activity counters. */
+class PowerCalculator
+{
+  public:
+    explicit PowerCalculator(const EnergyModelParams &params = {});
+
+    /**
+     * @param delta activity counters accumulated over the epoch.
+     * @param ctx epoch timing, voltage, and structure sizing.
+     */
+    PowerResult epochPower(const CoreCounters &delta,
+                           const PowerEpochContext &ctx) const;
+
+    const EnergyModelParams &params() const { return params_; }
+
+  private:
+    EnergyModelParams params_;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,81 @@
+#include "sim/bpred.hpp"
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config_(config)
+{
+    if (config_.tableBits < 4 || config_.tableBits > 24)
+        fatal("branch predictor tableBits out of range: ",
+              config_.tableBits);
+    const size_t entries = size_t{1} << config_.tableBits;
+    mask_ = entries - 1;
+    historyMask_ = (uint64_t{1} << config_.historyBits) - 1;
+    bimodal_.assign(entries, 1);
+    gshare_.assign(entries, 1);
+    chooser_.assign(entries, 2);
+}
+
+void
+BranchPredictor::reset()
+{
+    history_ = 0;
+    std::fill(bimodal_.begin(), bimodal_.end(), 1);
+    std::fill(gshare_.begin(), gshare_.end(), 1);
+    std::fill(chooser_.begin(), chooser_.end(), 2);
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+size_t
+BranchPredictor::bimodalIndex(uint64_t pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+size_t
+BranchPredictor::gshareIndex(uint64_t pc) const
+{
+    return ((pc >> 2) ^ (history_ & historyMask_)) & mask_;
+}
+
+bool
+BranchPredictor::predict(uint64_t pc) const
+{
+    ++lookups_;
+    const bool use_gshare = chooser_[bimodalIndex(pc)] >= 2;
+    const uint8_t counter = use_gshare ? gshare_[gshareIndex(pc)]
+                                       : bimodal_[bimodalIndex(pc)];
+    return counterTaken(counter);
+}
+
+void
+BranchPredictor::update(uint64_t pc, bool taken)
+{
+    const size_t bi = bimodalIndex(pc);
+    const size_t gi = gshareIndex(pc);
+    const bool bimodal_correct = counterTaken(bimodal_[bi]) == taken;
+    const bool gshare_correct = counterTaken(gshare_[gi]) == taken;
+    // Chooser trains toward the component that was right (when they
+    // disagree).
+    if (gshare_correct != bimodal_correct)
+        counterTrain(chooser_[bi], gshare_correct);
+    counterTrain(bimodal_[bi], taken);
+    counterTrain(gshare_[gi], taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+bool
+BranchPredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    const bool prediction = predict(pc);
+    update(pc, taken);
+    const bool correct = prediction == taken;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hybrid branch predictor: gshare + bimodal with a chooser table, sized
+ * to the paper's 38 Kbit budget (Table III).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mimoarch {
+
+/** Configuration of the hybrid predictor. */
+struct BranchPredictorConfig
+{
+    /** log2 of entries in each 2-bit counter table. */
+    unsigned tableBits = 12; // 3 tables x 4096 x 2b + BHR ~ 24 Kbit
+    /** Global history length in bits. */
+    unsigned historyBits = 12;
+};
+
+/**
+ * Tournament predictor in the Alpha 21264 style. All tables hold 2-bit
+ * saturating counters; the chooser learns per-branch which component to
+ * trust.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config = {});
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /** Train all tables with the resolved outcome. */
+    void update(uint64_t pc, bool taken);
+
+    /** Predict, train, and report whether the prediction was correct. */
+    bool predictAndUpdate(uint64_t pc, bool taken);
+
+    /** Lifetime statistics. */
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Reset history and counters to the weakly-not-taken state. */
+    void reset();
+
+  private:
+    size_t bimodalIndex(uint64_t pc) const;
+    size_t gshareIndex(uint64_t pc) const;
+
+    static bool counterTaken(uint8_t c) { return c >= 2; }
+    static void
+    counterTrain(uint8_t &c, bool taken)
+    {
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+    BranchPredictorConfig config_;
+    size_t mask_;
+    uint64_t history_ = 0;
+    uint64_t historyMask_;
+    std::vector<uint8_t> bimodal_;
+    std::vector<uint8_t> gshare_;
+    std::vector<uint8_t> chooser_; //!< 2-bit: >=2 prefers gshare.
+    mutable uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,164 @@
+#include "sim/cache.hpp"
+
+namespace mimoarch {
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), enabledWays_(config.ways)
+{
+    if (config_.ways == 0 || config_.lineBytes == 0)
+        fatal("cache needs at least one way and a non-zero line size");
+    if (config_.sizeBytes % (config_.ways * config_.lineBytes) != 0)
+        fatal("cache size must be divisible by ways*lineBytes");
+    if (!isPowerOfTwo(config_.sets()))
+        fatal("cache set count must be a power of two, got ",
+              config_.sets());
+    if (!isPowerOfTwo(config_.lineBytes))
+        fatal("cache line size must be a power of two");
+    lines_.assign(size_t{config_.sets()} * config_.ways, Line{});
+}
+
+uint32_t
+Cache::setIndex(uint64_t addr) const
+{
+    return static_cast<uint32_t>((addr / config_.lineBytes) &
+                                 (config_.sets() - 1));
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr / config_.lineBytes / config_.sets();
+}
+
+bool
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    const uint32_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    ++lruClock_;
+
+    for (uint32_t w = 0; w < enabledWays_; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.tag == tag) {
+            l.lru = lruClock_;
+            l.dirty = l.dirty || is_write;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    // Fill: pick an invalid way, else the LRU one.
+    uint32_t victim = 0;
+    uint32_t best_lru = UINT32_MAX;
+    for (uint32_t w = 0; w < enabledWays_; ++w) {
+        Line &l = line(set, w);
+        if (!l.valid) {
+            victim = w;
+            best_lru = 0;
+            break;
+        }
+        if (l.lru < best_lru) {
+            best_lru = l.lru;
+            victim = w;
+        }
+    }
+    Line &v = line(set, victim);
+    if (v.valid && v.dirty)
+        ++stats_.writebacks;
+    v.valid = true;
+    v.dirty = is_write;
+    v.tag = tag;
+    v.lru = lruClock_;
+    return false;
+}
+
+void
+Cache::prefetch(uint64_t addr)
+{
+    if (contains(addr))
+        return;
+    const uint32_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    ++lruClock_;
+    uint32_t victim = 0;
+    uint32_t best_lru = UINT32_MAX;
+    for (uint32_t w = 0; w < enabledWays_; ++w) {
+        Line &l = line(set, w);
+        if (!l.valid) {
+            victim = w;
+            best_lru = 0;
+            break;
+        }
+        if (l.lru < best_lru) {
+            best_lru = l.lru;
+            victim = w;
+        }
+    }
+    Line &v = line(set, victim);
+    if (v.valid && v.dirty)
+        ++stats_.writebacks;
+    v.valid = true;
+    v.dirty = false;
+    v.tag = tag;
+    v.lru = lruClock_;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    const uint32_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    for (uint32_t w = 0; w < enabledWays_; ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+Cache::setEnabledWays(uint32_t ways)
+{
+    if (ways == 0 || ways > config_.ways)
+        fatal("setEnabledWays(", ways, ") outside [1, ", config_.ways, "]");
+    uint64_t flushed_dirty = 0;
+    if (ways < enabledWays_) {
+        // Flush lines in the ways being disabled.
+        for (uint32_t set = 0; set < config_.sets(); ++set) {
+            for (uint32_t w = ways; w < enabledWays_; ++w) {
+                Line &l = line(set, w);
+                if (l.valid) {
+                    ++stats_.gatingFlushes;
+                    if (l.dirty) {
+                        ++flushed_dirty;
+                        ++stats_.writebacks;
+                    }
+                    l = Line{};
+                }
+            }
+        }
+    }
+    enabledWays_ = ways;
+    return flushed_dirty;
+}
+
+void
+Cache::reset()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    stats_ = CacheStats{};
+    lruClock_ = 0;
+}
+
+} // namespace mimoarch

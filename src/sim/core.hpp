@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Out-of-order core model.
+ *
+ * The pipeline is a window-dataflow model in the ESESC tradition: fetch
+ * (with I-cache and branch predictor), a fetch-to-dispatch delay, rename/
+ * dispatch into a ROB ring buffer and load/store queues, dataflow issue
+ * limited by functional-unit ports and the issue width, and in-order
+ * commit. Dependencies are expressed as producer distances in the dynamic
+ * stream, so any InstructionSource can drive the core.
+ *
+ * Configurable knobs (the paper's inputs): ROB size (power-gated in
+ * 16-entry partitions per Ponomarev et al. [37]) and, via the memory
+ * hierarchy it is attached to, cache associativity; frequency lives in
+ * the Processor wrapper.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/bpred.hpp"
+#include "sim/instruction.hpp"
+#include "sim/memhier.hpp"
+#include "sim/stats.hpp"
+
+namespace mimoarch {
+
+/** Static core parameters (Table III: 3-issue out of order). */
+struct CoreConfig
+{
+    unsigned fetchWidth = 3;
+    unsigned issueWidth = 3;
+    unsigned commitWidth = 3;
+    unsigned robSizeMax = 128;
+    unsigned loadQueueSize = 32;
+    unsigned storeQueueSize = 16;
+    unsigned frontendDepth = 4;          //!< Fetch-to-dispatch cycles.
+    unsigned mispredictRedirectCycles = 5;
+
+    // Functional unit ports.
+    unsigned aluPorts = 2;
+    unsigned mulDivPorts = 1;
+    unsigned fpPorts = 2;
+    unsigned loadPorts = 1;
+    unsigned storePorts = 1;
+
+    // Execute latencies (cycles).
+    unsigned intMulLatency = 4;
+    unsigned intDivLatency = 12;
+    unsigned fpAluLatency = 4;
+    unsigned fpMulLatency = 5;
+    unsigned fpDivLatency = 15;
+
+    BranchPredictorConfig bpred{};
+};
+
+/** The out-of-order core. */
+class Core
+{
+  public:
+    /**
+     * @param config static parameters.
+     * @param source dynamic micro-op stream (not owned).
+     * @param mem memory hierarchy (not owned, shared with Processor).
+     */
+    Core(const CoreConfig &config, InstructionSource *source,
+         MemoryHierarchy *mem);
+
+    /** Advance one cycle at the given core frequency. */
+    void cycle(double freq_ghz);
+
+    /** Advance @p n cycles. */
+    void run(uint64_t n, double freq_ghz);
+
+    /**
+     * Request a new active ROB size (16..robSizeMax). The resize takes
+     * effect once the ROB drains (dispatch pauses), modelling partition
+     * power gating.
+     */
+    void setRobSize(unsigned entries);
+
+    unsigned robSize() const { return robSizeTarget_; }
+    unsigned robOccupancy() const { return static_cast<unsigned>(rob_.size()); }
+
+    const CoreCounters &counters() const { return counters_; }
+    const CoreConfig &config() const { return config_; }
+    const BranchPredictor &branchPredictor() const { return bpred_; }
+
+    /** Flush in-flight state (not predictor/caches); keeps counters. */
+    void flushPipeline();
+
+    /** Zero the activity counters (e.g. after a warmup run). */
+    void resetCounters() { counters_ = CoreCounters{}; }
+
+  private:
+    struct RobEntry
+    {
+        MicroOp op;
+        uint64_t seq = 0;
+        uint64_t readyCycle = UINT64_MAX; //!< Result-available cycle.
+        uint64_t producerSeq0 = 0;        //!< 0 = none.
+        uint64_t producerSeq1 = 0;
+        bool issued = false;
+        bool mispredicted = false;
+    };
+
+    struct FetchedOp
+    {
+        MicroOp op;
+        uint64_t seq;
+        uint64_t readyAtCycle; //!< When it may dispatch.
+        bool mispredicted;
+    };
+
+    void fetchStage();
+    void dispatchStage();
+    void issueStage(double freq_ghz);
+    void commitStage();
+
+    bool producerDone(uint64_t producer_seq) const;
+    unsigned execLatency(OpClass cls) const;
+
+    CoreConfig config_;
+    InstructionSource *source_;
+    MemoryHierarchy *mem_;
+    BranchPredictor bpred_;
+
+    uint64_t now_ = 0;
+    uint64_t nextSeq_ = 1;
+
+    std::deque<FetchedOp> fetchQueue_;
+    std::deque<RobEntry> rob_; //!< Head at front; seq increases to back.
+    uint64_t robHeadSeq_ = 1;  //!< seq of rob_.front() when non-empty.
+
+    unsigned loadsInFlight_ = 0;
+    unsigned storesInFlight_ = 0;
+
+    unsigned robSizeActive_;
+    unsigned robSizeTarget_;
+
+    uint64_t fetchBlockedUntil_ = 0;       //!< I-miss / redirect stall.
+    uint64_t pendingBranchSeq_ = 0;        //!< Mispredict fetch barrier.
+    double curFreqGhz_ = 1.0;
+
+    CoreCounters counters_;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,55 @@
+#include "sim/dvfs.hpp"
+
+#include <cmath>
+
+namespace mimoarch {
+
+DvfsController::DvfsController(double transition_latency_us)
+    : transitionLatencyUs_(transition_latency_us)
+{
+    if (transition_latency_us < 0)
+        fatal("negative DVFS transition latency");
+}
+
+double
+DvfsController::freqAtLevel(unsigned level)
+{
+    if (level >= kNumLevels)
+        fatal("DVFS level ", level, " out of range");
+    return 0.5 + 0.1 * level;
+}
+
+double
+DvfsController::voltageAtLevel(unsigned level)
+{
+    // Linear interpolation between published A15 endpoints:
+    // ~0.90 V at 0.5 GHz up to ~1.25 V at 2.0 GHz, with a mild knee at
+    // the top (voltage rises faster above 1.5 GHz).
+    const double f = freqAtLevel(level);
+    if (f <= 1.5)
+        return 0.90 + (f - 0.5) * (1.10 - 0.90) / 1.0;
+    return 1.10 + (f - 1.5) * (1.25 - 1.10) / 0.5;
+}
+
+unsigned
+DvfsController::levelForFreq(double freq_ghz)
+{
+    const double clamped = std::min(2.0, std::max(0.5, freq_ghz));
+    const int level = static_cast<int>(std::lround((clamped - 0.5) / 0.1));
+    return static_cast<unsigned>(
+        std::min<int>(kNumLevels - 1, std::max(0, level)));
+}
+
+double
+DvfsController::setLevel(unsigned level)
+{
+    if (level >= kNumLevels)
+        fatal("DVFS level ", level, " out of range");
+    if (level == level_)
+        return 0.0;
+    level_ = level;
+    ++transitions_;
+    return transitionLatencyUs_;
+}
+
+} // namespace mimoarch

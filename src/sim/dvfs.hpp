@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DVFS operating points and transition management.
+ *
+ * The paper's frequency knob: 16 settings from 0.5 GHz to 2.0 GHz in
+ * 0.1 GHz steps, with a 5 us transition latency (Table III). The
+ * voltage/frequency pairs interpolate published ARM Cortex-A15 values
+ * (the paper cites Spiliopoulos et al. [39]).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+/** One DVFS operating point. */
+struct DvfsPoint
+{
+    double freqGhz = 1.0;
+    double voltage = 1.0;
+};
+
+/** The 16-point DVFS table plus the transition cost model. */
+class DvfsController
+{
+  public:
+    /** Number of operating points (paper: 16). */
+    static constexpr unsigned kNumLevels = 16;
+
+    /**
+     * @param transition_latency_us stall charged on every level change.
+     */
+    explicit DvfsController(double transition_latency_us = 5.0);
+
+    /** Frequency at level l: 0.5 + 0.1*l GHz. */
+    static double freqAtLevel(unsigned level);
+
+    /** Voltage at level l, interpolated from A15 published pairs. */
+    static double voltageAtLevel(unsigned level);
+
+    /** Level whose frequency is closest to @p freq_ghz. */
+    static unsigned levelForFreq(double freq_ghz);
+
+    unsigned level() const { return level_; }
+    double freqGhz() const { return freqAtLevel(level_); }
+    double voltage() const { return voltageAtLevel(level_); }
+
+    /**
+     * Request a level change. @return the stall time in microseconds
+     * charged to the requesting epoch (0 when the level is unchanged).
+     */
+    double setLevel(unsigned level);
+
+    /** Lifetime number of actual transitions. */
+    uint64_t transitions() const { return transitions_; }
+
+  private:
+    unsigned level_ = 8; // 1.3 GHz, the paper's E x D baseline point
+    double transitionLatencyUs_;
+    uint64_t transitions_ = 0;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,103 @@
+#include "sim/memhier.hpp"
+
+#include <cmath>
+
+namespace mimoarch {
+
+MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyConfig &config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+{}
+
+uint32_t
+MemoryHierarchy::l2LatencyCycles(double freq_ghz) const
+{
+    return std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::lround(config_.l2LatencyNs *
+                                             freq_ghz)));
+}
+
+uint32_t
+MemoryHierarchy::memLatencyCycles(double freq_ghz) const
+{
+    return std::max<uint32_t>(
+        10, static_cast<uint32_t>(std::lround(config_.memLatencyNs *
+                                              freq_ghz)));
+}
+
+MemAccessResult
+MemoryHierarchy::accessData(uint64_t addr, bool is_write, double freq_ghz)
+{
+    MemAccessResult res;
+    res.l1Hit = l1d_.access(addr, is_write);
+    if (res.l1Hit) {
+        res.latencyCycles = config_.l1LatencyCycles;
+        return res;
+    }
+    res.l2Hit = l2_.access(addr, false);
+    if (res.l2Hit) {
+        res.latencyCycles = config_.l1LatencyCycles +
+            l2LatencyCycles(freq_ghz);
+        return res;
+    }
+    res.latencyCycles = config_.l1LatencyCycles +
+        l2LatencyCycles(freq_ghz) + memLatencyCycles(freq_ghz);
+    return res;
+}
+
+MemAccessResult
+MemoryHierarchy::accessInstr(uint64_t addr, double freq_ghz)
+{
+    MemAccessResult res;
+    res.l1Hit = l1i_.access(addr, false);
+    if (res.l1Hit) {
+        res.latencyCycles = config_.l1iLatencyCycles;
+        return res;
+    }
+    res.l2Hit = l2_.access(addr, false);
+    if (res.l2Hit) {
+        res.latencyCycles = config_.l1iLatencyCycles +
+            l2LatencyCycles(freq_ghz);
+        return res;
+    }
+    res.latencyCycles = config_.l1iLatencyCycles +
+        l2LatencyCycles(freq_ghz) + memLatencyCycles(freq_ghz);
+    return res;
+}
+
+void
+MemoryHierarchy::prefetchInstrLine(uint64_t addr)
+{
+    l1i_.prefetch(addr);
+    l2_.prefetch(addr);
+}
+
+uint64_t
+MemoryHierarchy::setCacheSizeSetting(unsigned setting)
+{
+    if (setting >= kCacheSizeSettings.size())
+        fatal("cache size setting ", setting, " out of range");
+    const CacheSizeSetting &s = kCacheSizeSettings[setting];
+    uint64_t dirty = 0;
+    dirty += l2_.setEnabledWays(s.l2Ways);
+    dirty += l1d_.setEnabledWays(s.l1dWays);
+    setting_ = setting;
+    return dirty;
+}
+
+double
+MemoryHierarchy::effectiveCacheKb() const
+{
+    return (l1d_.effectiveSizeBytes() + l2_.effectiveSizeBytes()) / 1024.0;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    // reset() restores all configured ways; re-apply the setting.
+    setCacheSizeSetting(setting_);
+}
+
+} // namespace mimoarch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Two-level memory hierarchy (L1I + L1D backed by a unified L2) with the
+ * paper's cache-size knob: four (L2, L1D) associativity settings gated in
+ * lockstep. L1 latency is fixed in core cycles (the L1 shares the core's
+ * clock domain); L2 and main-memory latencies are fixed in nanoseconds
+ * and converted to core cycles at the current frequency.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/cache.hpp"
+
+namespace mimoarch {
+
+/** Geometry and latency parameters (Table III defaults). */
+struct MemoryHierarchyConfig
+{
+    CacheConfig l1i{32 * 1024, 2, 64};
+    CacheConfig l1d{32 * 1024, 4, 64}; //!< Max ways; settings gate to 3..1.
+    CacheConfig l2{256 * 1024, 8, 64};
+
+    uint32_t l1LatencyCycles = 3;
+    uint32_t l1iLatencyCycles = 2;
+    /** L2 latency: 18 cycles at the 1.3 GHz baseline (Table III). */
+    double l2LatencyNs = 18.0 / 1.3;
+    /** Memory latency: 125 cycles at the 1.3 GHz baseline. */
+    double memLatencyNs = 125.0 / 1.3;
+};
+
+/**
+ * The paper's four cache-size settings, largest first as printed in
+ * Table III: (L2 ways, L1D ways) in {(8,4),(6,3),(4,2),(2,1)}.
+ * Setting index 0 is the *smallest* here so that increasing the knob
+ * increases resources, matching the frequency knob's direction.
+ */
+struct CacheSizeSetting
+{
+    uint32_t l2Ways;
+    uint32_t l1dWays;
+};
+
+constexpr std::array<CacheSizeSetting, 4> kCacheSizeSettings{{
+    {2, 1}, {4, 2}, {6, 3}, {8, 4},
+}};
+
+/** Result of a hierarchy access. */
+struct MemAccessResult
+{
+    uint32_t latencyCycles = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+};
+
+/** L1I/L1D/L2 + memory latency model. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryHierarchyConfig &config = {});
+
+    /** Data access (load or store) at the current core frequency. */
+    MemAccessResult accessData(uint64_t addr, bool is_write,
+                               double freq_ghz);
+
+    /** Instruction fetch access. */
+    MemAccessResult accessInstr(uint64_t addr, double freq_ghz);
+
+    /** Sequential I-prefetch: install a line into L1I/L2 for free. */
+    void prefetchInstrLine(uint64_t addr);
+
+    /**
+     * Apply cache-size setting 0..3 (0 smallest). @return dirty lines
+     * written back while gating (an energy/stall cost upstream).
+     */
+    uint64_t setCacheSizeSetting(unsigned setting);
+
+    unsigned cacheSizeSetting() const { return setting_; }
+
+    /** Effective (L1D + L2) capacity in KB for the controller's input. */
+    double effectiveCacheKb() const;
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+    /** Drop all cached state and stats (keeps the current setting). */
+    void reset();
+
+    const MemoryHierarchyConfig &config() const { return config_; }
+
+  private:
+    uint32_t l2LatencyCycles(double freq_ghz) const;
+    uint32_t memLatencyCycles(double freq_ghz) const;
+
+    MemoryHierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    unsigned setting_ = 3; // full size
+};
+
+} // namespace mimoarch

@@ -1,0 +1,119 @@
+#include "sim/processor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+Processor::Processor(const ProcessorConfig &config,
+                     InstructionSource *source)
+    : config_(config), mem_(config.mem),
+      core_(config.core, source, &mem_),
+      dvfs_(config.dvfsTransitionUs),
+      power_(config.energy)
+{
+    if (config_.epochSeconds <= 0 || config_.sampleCycles == 0)
+        fatal("Processor config: epoch and sample must be positive");
+}
+
+void
+Processor::setFrequencyLevel(unsigned level)
+{
+    pendingStallUs_ += dvfs_.setLevel(level);
+}
+
+void
+Processor::setCacheSizeSetting(unsigned setting)
+{
+    if (setting == mem_.cacheSizeSetting())
+        return;
+    const uint64_t dirty = mem_.setCacheSizeSetting(setting);
+    // Flushing dirty lines: one line per cycle plus a fixed sequencing
+    // cost; the writeback energy is charged to the next epoch.
+    pendingStallUs_ += config_.cacheGateFixedUs +
+        static_cast<double>(dirty) / (dvfs_.freqGhz() * 1e3);
+    pendingExtraNj_ += static_cast<double>(dirty) *
+        config_.energy.writebackNj;
+}
+
+void
+Processor::setRobSize(unsigned entries)
+{
+    core_.setRobSize(entries);
+}
+
+EpochOutputs
+Processor::runEpoch()
+{
+    const double freq = dvfs_.freqGhz();
+    const double epoch_s = config_.epochSeconds;
+
+    // Actuation stalls eat into the epoch's useful time.
+    const double stall_us = std::min(pendingStallUs_, epoch_s * 1e6);
+    pendingStallUs_ -= stall_us;
+    const double duty = 1.0 - stall_us * 1e-6 / epoch_s;
+
+    const uint64_t epoch_cycles =
+        static_cast<uint64_t>(epoch_s * duty * freq * 1e9);
+    const uint64_t sample =
+        std::min<uint64_t>(config_.sampleCycles,
+                           std::max<uint64_t>(1, epoch_cycles));
+    core_.run(sample, freq);
+
+    const CoreCounters now = core_.counters();
+    CoreCounters delta = CoreCounters::delta(now, lastCounters_);
+    lastCounters_ = now;
+
+    // Writebacks come from the cache stats (L1D victim writes + L2).
+    const uint64_t l1d_wb = mem_.l1d().stats().writebacks;
+    const uint64_t l2_wb = mem_.l2().stats().writebacks;
+    delta.cacheWritebacks = (l1d_wb - lastL1dWb_) + (l2_wb - lastL2Wb_);
+    lastL1dWb_ = l1d_wb;
+    lastL2Wb_ = l2_wb;
+
+    EpochOutputs out;
+    out.sample = delta;
+    out.ipc = delta.ipc();
+    out.stallFraction = 1.0 - duty;
+
+    // Extrapolate the sample over the epoch's useful time.
+    out.ips = out.ipc * freq * duty; // BIPS (instr/ns == B instr/s)
+    out.committedInstructions = out.ips * 1e9 * epoch_s;
+    const unsigned width = config_.core.issueWidth;
+    out.utilization = delta.cycles
+        ? static_cast<double>(delta.committed) /
+            (static_cast<double>(width) * static_cast<double>(delta.cycles))
+        : 0.0;
+    out.l2Mpki = delta.committed
+        ? 1000.0 * static_cast<double>(delta.l2Misses) /
+            static_cast<double>(delta.committed)
+        : 0.0;
+
+    // Power: sample activity defines the dynamic power while running;
+    // leakage burns for the whole epoch.
+    PowerEpochContext ctx;
+    ctx.timeSeconds = static_cast<double>(sample) / (freq * 1e9);
+    ctx.freqGhz = freq;
+    ctx.voltage = dvfs_.voltage();
+    ctx.robActive = core_.robSize();
+    ctx.robMax = config_.core.robSizeMax;
+    ctx.l1dWaysOn = mem_.l1d().enabledWays();
+    ctx.l1dWaysMax = config_.mem.l1d.ways;
+    ctx.l2WaysOn = mem_.l2().enabledWays();
+    ctx.l2WaysMax = config_.mem.l2.ways;
+    const PowerResult pr = power_.epochPower(delta, ctx);
+
+    const double extra_w = pendingExtraNj_ * 1e-9 / epoch_s;
+    pendingExtraNj_ = 0.0;
+    out.powerWatts = pr.dynamicWatts * duty + pr.leakageWatts + extra_w;
+    out.energyJoules = out.powerWatts * epoch_s;
+
+    elapsedSeconds_ += epoch_s;
+    totalEnergy_ += out.energyJoules;
+    totalInstrB_ += out.ips * epoch_s;
+    return out;
+}
+
+} // namespace mimoarch

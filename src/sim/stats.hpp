@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Activity counters produced by the core, consumed by the power model and
+ * the epoch readout.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/instruction.hpp"
+
+namespace mimoarch {
+
+/** Cumulative activity counters for one core. */
+struct CoreCounters
+{
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    uint64_t fetched = 0;
+    uint64_t dispatched = 0;
+    uint64_t issued = 0;
+    std::array<uint64_t, kNumOpClasses> issuedByClass{};
+    uint64_t branchLookups = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t fetchStallCycles = 0;
+    uint64_t robFullStallCycles = 0;
+    uint64_t lsqFullStallCycles = 0;
+    uint64_t robOccupancySum = 0; //!< Sum over cycles of ROB occupancy.
+
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l1iAccesses = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t memAccesses = 0;
+    uint64_t cacheWritebacks = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+            static_cast<double>(cycles) : 0.0;
+    }
+
+    /** a - b, counter-wise (for per-epoch deltas). */
+    static CoreCounters
+    delta(const CoreCounters &a, const CoreCounters &b)
+    {
+        CoreCounters d;
+        d.cycles = a.cycles - b.cycles;
+        d.committed = a.committed - b.committed;
+        d.fetched = a.fetched - b.fetched;
+        d.dispatched = a.dispatched - b.dispatched;
+        d.issued = a.issued - b.issued;
+        for (size_t i = 0; i < kNumOpClasses; ++i)
+            d.issuedByClass[i] = a.issuedByClass[i] - b.issuedByClass[i];
+        d.branchLookups = a.branchLookups - b.branchLookups;
+        d.branchMispredicts = a.branchMispredicts - b.branchMispredicts;
+        d.fetchStallCycles = a.fetchStallCycles - b.fetchStallCycles;
+        d.robFullStallCycles = a.robFullStallCycles - b.robFullStallCycles;
+        d.lsqFullStallCycles = a.lsqFullStallCycles - b.lsqFullStallCycles;
+        d.robOccupancySum = a.robOccupancySum - b.robOccupancySum;
+        d.l1dAccesses = a.l1dAccesses - b.l1dAccesses;
+        d.l1dMisses = a.l1dMisses - b.l1dMisses;
+        d.l1iAccesses = a.l1iAccesses - b.l1iAccesses;
+        d.l1iMisses = a.l1iMisses - b.l1iMisses;
+        d.l2Accesses = a.l2Accesses - b.l2Accesses;
+        d.l2Misses = a.l2Misses - b.l2Misses;
+        d.memAccesses = a.memAccesses - b.memAccesses;
+        d.cacheWritebacks = a.cacheWritebacks - b.cacheWritebacks;
+        return d;
+    }
+};
+
+} // namespace mimoarch

@@ -1,0 +1,64 @@
+#include "sysid/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+ValidationReport
+validateModel(const StateSpaceModel &model, const Matrix &u_physical,
+              const Matrix &y_measured_physical, size_t window)
+{
+    if (u_physical.rows() != y_measured_physical.rows())
+        fatal("validateModel: record length mismatch");
+    if (window == 0)
+        fatal("validateModel: window must be positive");
+    const size_t t_len = u_physical.rows();
+    const size_t n_out = model.numOutputs();
+    if (y_measured_physical.cols() != n_out)
+        fatal("validateModel: output width mismatch");
+
+    const Matrix u = model.inputScaling.toScaled(u_physical);
+    const Matrix y_pred_scaled =
+        model.simulate(u, Matrix(model.stateDim(), 1));
+    const Matrix y_pred = model.outputScaling.toPhysical(y_pred_scaled);
+
+    ValidationReport rep;
+    rep.meanRelError.assign(n_out, 0.0);
+    rep.maxRelError.assign(n_out, 0.0);
+
+    // Skip an initial transient: the model starts from a zero state.
+    const size_t skip = std::min<size_t>(t_len / 10, 50);
+
+    for (size_t o = 0; o < n_out; ++o) {
+        double mag = 0.0;
+        for (size_t t = skip; t < t_len; ++t)
+            mag += std::abs(y_measured_physical(t, o));
+        mag /= static_cast<double>(t_len - skip);
+        mag = std::max(mag, 1e-12);
+
+        double mean_err = 0.0;
+        double window_sum = 0.0;
+        size_t window_count = 0;
+        for (size_t t = skip; t < t_len; ++t) {
+            const double err =
+                std::abs(y_pred(t, o) - y_measured_physical(t, o)) / mag;
+            mean_err += err;
+            window_sum += err;
+            ++window_count;
+            if (window_count == window) {
+                rep.maxRelError[o] = std::max(
+                    rep.maxRelError[o],
+                    window_sum / static_cast<double>(window));
+                window_sum = 0.0;
+                window_count = 0;
+            }
+        }
+        rep.meanRelError[o] = mean_err / static_cast<double>(t_len - skip);
+    }
+    return rep;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Model validation (paper §IV-B4): run fresh waveforms on both the model
+ * and the real system, compare, and report per-output errors. The
+ * reported errors seed the uncertainty guardbands (the paper multiplies
+ * its maximum observed errors by 3x: 14% -> 50% IPS, 10% -> 30% power).
+ */
+
+#pragma once
+
+#include "control/statespace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Per-output validation error summary. */
+struct ValidationReport
+{
+    /** Mean |model - system| / typical magnitude, per output. */
+    std::vector<double> meanRelError;
+    /** Max smoothed relative error, per output. */
+    std::vector<double> maxRelError;
+
+    double
+    worstMean() const
+    {
+        double w = 0.0;
+        for (double e : meanRelError)
+            w = std::max(w, e);
+        return w;
+    }
+};
+
+/**
+ * Compare model predictions against measured outputs for the same input
+ * record. Errors are normalized by the per-output mean magnitude of the
+ * measurement, and smoothed over @p window epochs before taking the max
+ * (instantaneous noise should not set the guardband).
+ */
+ValidationReport validateModel(const StateSpaceModel &model,
+                               const Matrix &u_physical,
+                               const Matrix &y_measured_physical,
+                               size_t window = 16);
+
+} // namespace mimoarch

@@ -1,0 +1,71 @@
+#include "sysid/waveform.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+Matrix
+generateExcitation(const std::vector<InputChannelSpec> &channels,
+                   const WaveformConfig &config)
+{
+    if (channels.empty())
+        fatal("excitation needs at least one input channel");
+    for (const InputChannelSpec &ch : channels)
+        if (ch.levels.size() < 2)
+            fatal("every excitation channel needs >= 2 levels");
+    if (config.minHoldEpochs == 0 ||
+        config.maxHoldEpochs < config.minHoldEpochs) {
+        fatal("bad excitation hold range");
+    }
+
+    const size_t t_len = config.lengthEpochs;
+    const size_t n_in = channels.size();
+    Matrix u(t_len, n_in);
+    Rng rng(config.seed);
+
+    for (size_t ch = 0; ch < n_in; ++ch) {
+        const auto &levels = channels[ch].levels;
+        const size_t n_lv = levels.size();
+        size_t t = 0;
+        size_t cur = rng.uniformInt(n_lv);
+        while (t < t_len) {
+            if (rng.uniform() < config.sweepFraction / 4.0) {
+                // Staircase sweep across the full range (up or down).
+                const bool up = rng.bernoulli(0.5);
+                const size_t hold = config.minHoldEpochs +
+                    rng.uniformInt(config.maxHoldEpochs -
+                                   config.minHoldEpochs + 1);
+                for (size_t step = 0; step < n_lv && t < t_len; ++step) {
+                    cur = up ? step : n_lv - 1 - step;
+                    for (size_t h = 0; h < hold && t < t_len; ++h)
+                        u(t++, ch) = levels[cur];
+                }
+            } else {
+                // Random level change with a random dwell; bias toward
+                // large jumps half the time for gain identification.
+                size_t next;
+                if (rng.bernoulli(0.5)) {
+                    next = rng.uniformInt(n_lv);
+                } else {
+                    // Neighbouring step for local-dynamics excitation.
+                    const long delta = rng.bernoulli(0.5) ? 1 : -1;
+                    const long cand = static_cast<long>(cur) + delta;
+                    next = static_cast<size_t>(
+                        std::clamp<long>(cand, 0,
+                                         static_cast<long>(n_lv) - 1));
+                }
+                cur = next;
+                const size_t hold = config.minHoldEpochs +
+                    rng.uniformInt(config.maxHoldEpochs -
+                                   config.minHoldEpochs + 1);
+                for (size_t h = 0; h < hold && t < t_len; ++h)
+                    u(t++, ch) = levels[cur];
+            }
+        }
+    }
+    return u;
+}
+
+} // namespace mimoarch

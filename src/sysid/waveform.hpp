@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Excitation waveform generation for black-box system identification
+ * (paper §IV-B1: "We apply waveforms with special patterns at the
+ * inputs of the system, and monitor the waveforms at the outputs").
+ *
+ * Each input channel walks its discrete settings with a pseudo-random
+ * binary/multilevel sequence, holding each level for several epochs so
+ * the system's dynamics (not just its static gain) are excited, with
+ * occasional full-range staircase sweeps for good low-frequency
+ * coverage.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Description of one input channel's admissible values. */
+struct InputChannelSpec
+{
+    std::vector<double> levels; //!< Discrete settings, ascending.
+};
+
+/** Waveform generation parameters. */
+struct WaveformConfig
+{
+    size_t lengthEpochs = 1500;
+    size_t minHoldEpochs = 4;  //!< Shortest dwell at one level.
+    size_t maxHoldEpochs = 20; //!< Longest dwell.
+    double sweepFraction = 0.25; //!< Share of time in staircase sweeps.
+    uint64_t seed = 7;
+};
+
+/**
+ * Generate a (T x I) matrix of input values, one row per epoch, where
+ * each entry is a valid level of its channel.
+ */
+Matrix generateExcitation(const std::vector<InputChannelSpec> &channels,
+                          const WaveformConfig &config);
+
+} // namespace mimoarch

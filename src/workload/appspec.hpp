@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Parameterized synthetic application specifications.
+ *
+ * Each application is a sequence of phases; a phase fixes the instruction
+ * mix, the dependency (ILP) structure, the memory working sets, and the
+ * branch behaviour. The named suite in spec_suite.hpp instantiates these
+ * to mirror the qualitative behaviour of SPEC CPU 2006 — the substitution
+ * for the real traces the paper runs (see DESIGN.md).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mimoarch {
+
+/** One steady-state program phase. */
+struct PhaseSpec
+{
+    // Instruction mix (fractions; the remainder is IntAlu).
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double intMulFrac = 0.02;
+    double intDivFrac = 0.0;
+    double fpAluFrac = 0.0;
+    double fpMulFrac = 0.0;
+    double fpDivFrac = 0.0;
+
+    /** Mean data-dependency distance in micro-ops (higher = more ILP). */
+    double meanDepDist = 6.0;
+
+    /** Hot (reused) data working set in bytes. */
+    uint64_t hotBytes = 24 * 1024;
+
+    /** Streaming region size in bytes (traversed sequentially). */
+    uint64_t streamBytes = 8 * 1024 * 1024;
+
+    /** Fraction of memory accesses that stream (vs hit the hot set). */
+    double streamFrac = 0.1;
+
+    /**
+     * Fraction of branch sites that are data-dependent (hard to
+     * predict); the rest are strongly biased loop-style branches.
+     */
+    double branchEntropy = 0.1;
+
+    /** Instruction footprint in bytes (drives the I-cache). */
+    uint64_t codeBytes = 16 * 1024;
+
+    /** Phase length in controller epochs before moving on. */
+    uint64_t lengthEpochs = 400;
+};
+
+/** Integer vs floating-point suite membership. */
+enum class AppCategory { Int, Fp };
+
+/** A named synthetic application. */
+struct AppSpec
+{
+    std::string name;
+    AppCategory category = AppCategory::Int;
+    std::vector<PhaseSpec> phases;
+    uint64_t seed = 1;
+
+    /**
+     * Whether the app can reach the paper's 2.5 BIPS reference at some
+     * configuration (paper §VII-B1 splits results on this).
+     */
+    bool responsive = true;
+};
+
+} // namespace mimoarch

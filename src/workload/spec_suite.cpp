@@ -1,0 +1,256 @@
+#include "workload/spec_suite.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+namespace {
+
+/** Compact builder for one-phase (or multi-phase) app specs. */
+struct AppBuilder
+{
+    AppSpec spec;
+
+    AppBuilder(std::string name, AppCategory cat, uint64_t seed,
+               bool responsive)
+    {
+        spec.name = std::move(name);
+        spec.category = cat;
+        spec.seed = seed;
+        spec.responsive = responsive;
+    }
+
+    /**
+     * Add one phase.
+     * @param load/store/branch/fp instruction-mix fractions.
+     * @param dep mean dependency distance (ILP).
+     * @param hot_kb hot working set in KB.
+     * @param stream streaming fraction of memory accesses.
+     * @param entropy fraction of hard-to-predict branch sites.
+     * @param code_kb instruction footprint in KB.
+     * @param epochs phase length in controller epochs.
+     */
+    AppBuilder &
+    phase(double load, double store, double branch, double fp,
+          double dep, double hot_kb, double stream, double entropy,
+          double code_kb, uint64_t epochs)
+    {
+        PhaseSpec p;
+        p.loadFrac = load;
+        p.storeFrac = store;
+        p.branchFrac = branch;
+        // Split the FP share across add/mul with a dash of divides.
+        p.fpAluFrac = fp * 0.55;
+        p.fpMulFrac = fp * 0.40;
+        p.fpDivFrac = fp * 0.05;
+        p.intMulFrac = spec.category == AppCategory::Int ? 0.03 : 0.01;
+        p.intDivFrac = 0.002;
+        p.meanDepDist = dep;
+        p.hotBytes = static_cast<uint64_t>(hot_kb * 1024);
+        p.streamFrac = stream;
+        p.branchEntropy = entropy;
+        p.codeBytes = static_cast<uint64_t>(code_kb * 1024);
+        p.streamBytes = 8 * 1024 * 1024;
+        p.lengthEpochs = epochs;
+        spec.phases.push_back(p);
+        return *this;
+    }
+};
+
+std::vector<AppSpec>
+buildSuite()
+{
+    using enum AppCategory;
+    std::vector<AppSpec> suite;
+    const auto add = [&](AppBuilder &b) { suite.push_back(b.spec); };
+
+    // ---- Training set (paper §VII-A) ----
+    // sjeng: chess; branchy integer code, small working set.
+    auto sjeng = AppBuilder("sjeng", Int, 101, true)
+        .phase(0.24, 0.08, 0.17, 0.00, 5.0, 40, 0.005, 0.30, 48, 400);
+    add(sjeng);
+    // gobmk: go; very branchy, moderate working set.
+    auto gobmk = AppBuilder("gobmk", Int, 102, true)
+        .phase(0.26, 0.10, 0.18, 0.00, 4.5, 48, 0.005, 0.35, 64, 400);
+    add(gobmk);
+    // leslie3d: stencil FP; streaming plus a cache-sized hot set.
+    auto leslie3d = AppBuilder("leslie3d", Fp, 103, true)
+        .phase(0.28, 0.12, 0.06, 0.32, 6.5, 160, 0.04, 0.05, 24, 400);
+    add(leslie3d);
+    // namd: molecular dynamics; compute-bound, high ILP, tiny hot set.
+    auto namd = AppBuilder("namd", Fp, 104, true)
+        .phase(0.22, 0.07, 0.05, 0.40, 8.0, 24, 0.002, 0.04, 24, 400);
+    add(namd);
+
+    // ---- Production: integer ----
+    // perlbench: interpreter; branchy, pointer chasing, medium WS.
+    auto perlbench = AppBuilder("perlbench", Int, 201, false)
+        .phase(0.27, 0.12, 0.19, 0.00, 3.6, 64, 0.03, 0.25, 96, 400);
+    add(perlbench);
+    // bzip2: compression; data-dependent branches, medium WS.
+    auto bzip2 = AppBuilder("bzip2", Int, 202, false)
+        .phase(0.26, 0.11, 0.16, 0.00, 3.8, 96, 0.05, 0.30, 32, 400);
+    add(bzip2);
+    // gcc: compiler; large code footprint, medium data WS.
+    auto gcc = AppBuilder("gcc", Int, 203, false)
+        .phase(0.26, 0.12, 0.18, 0.00, 3.5, 128, 0.04, 0.25, 128, 300)
+        .phase(0.24, 0.10, 0.18, 0.00, 3.5, 96, 0.04, 0.25, 128, 300);
+    add(gcc);
+    // mcf: sparse graph; giant working set, short dep chains.
+    auto mcf = AppBuilder("mcf", Int, 204, false)
+        .phase(0.34, 0.10, 0.14, 0.00, 2.8, 2048, 0.05, 0.20, 16, 400);
+    add(mcf);
+    // hmmer: HMM scoring; serial dependence chains bound the IPC.
+    auto hmmer = AppBuilder("hmmer", Int, 205, false)
+        .phase(0.30, 0.12, 0.08, 0.00, 2.4, 40, 0.02, 0.08, 16, 400);
+    add(hmmer);
+    // libquantum: pure streaming over a large vector.
+    auto libquantum = AppBuilder("libquantum", Int, 206, false)
+        .phase(0.30, 0.12, 0.12, 0.00, 7.0, 16, 0.90, 0.04, 8, 400);
+    add(libquantum);
+    // h264ref: encoder; compute-dense but dependence-limited.
+    auto h264ref = AppBuilder("h264ref", Int, 207, false)
+        .phase(0.28, 0.12, 0.10, 0.00, 3.0, 48, 0.05, 0.12, 48, 400);
+    add(h264ref);
+    // omnetpp: discrete event sim; pointer chasing over a big heap.
+    auto omnetpp = AppBuilder("omnetpp", Int, 208, false)
+        .phase(0.29, 0.13, 0.17, 0.00, 3.0, 512, 0.03, 0.28, 64, 400);
+    add(omnetpp);
+    // astar: path-finding; phased (map vs search), cache-sensitive.
+    auto astar = AppBuilder("astar", Int, 209, true)
+        .phase(0.27, 0.09, 0.13, 0.00, 7.5, 48, 0.002, 0.05, 24, 350)
+        .phase(0.25, 0.08, 0.12, 0.00, 8.0, 32, 0.002, 0.04, 24, 350);
+    add(astar);
+    // Xalancbmk: XML transform; branchy with a medium-large WS.
+    auto xalancbmk = AppBuilder("Xalan", Int, 210, false)
+        .phase(0.28, 0.12, 0.18, 0.00, 3.2, 256, 0.04, 0.22, 96, 400);
+    add(xalancbmk);
+
+    // ---- Production: floating point ----
+    // bwaves: blast waves; streaming-dominated, large WS.
+    auto bwaves = AppBuilder("bwaves", Fp, 301, false)
+        .phase(0.30, 0.11, 0.04, 0.34, 6.0, 512, 0.50, 0.03, 16, 400);
+    add(bwaves);
+    // cactusADM: relativity stencil; high ILP, cache-friendly.
+    auto cactus = AppBuilder("cactusADM", Fp, 302, true)
+        .phase(0.26, 0.10, 0.03, 0.38, 9.0, 48, 0.004, 0.03, 24, 400);
+    add(cactus);
+    // dealII: FEM; low memory traffic but sensitive to L2 misses.
+    auto dealii = AppBuilder("dealII", Fp, 303, false)
+        .phase(0.24, 0.09, 0.09, 0.30, 3.4, 200, 0.04, 0.10, 64, 400);
+    add(dealii);
+    // gamess: quantum chemistry; compute-bound, tiny hot set.
+    auto gamess = AppBuilder("gamess", Fp, 304, true)
+        .phase(0.21, 0.07, 0.05, 0.42, 8.0, 24, 0.002, 0.04, 24, 400);
+    add(gamess);
+    // gromacs: MD; compute-bound with moderate memory traffic.
+    auto gromacs = AppBuilder("gromacs", Fp, 305, true)
+        .phase(0.24, 0.08, 0.05, 0.38, 7.5, 32, 0.004, 0.04, 24, 400);
+    add(gromacs);
+    // GemsFDTD: FDTD stencil; large WS, streaming-heavy.
+    auto gems = AppBuilder("GemsFDTD", Fp, 306, false)
+        .phase(0.31, 0.12, 0.04, 0.32, 5.0, 800, 0.40, 0.03, 24, 400);
+    add(gems);
+    // lbm: lattice Boltzmann; bandwidth-bound streaming.
+    auto lbm = AppBuilder("lbm", Fp, 307, false)
+        .phase(0.30, 0.14, 0.02, 0.34, 7.0, 128, 0.80, 0.02, 8, 400);
+    add(lbm);
+    // milc: lattice QCD; high MLP hides misses; clearly phased.
+    auto milc = AppBuilder("milc", Fp, 308, true)
+        .phase(0.26, 0.09, 0.04, 0.36, 9.5, 48, 0.004, 0.03, 16, 300)
+        .phase(0.28, 0.10, 0.04, 0.34, 9.0, 64, 0.006, 0.03, 16, 300);
+    add(milc);
+    // povray: ray tracing; compute-bound, tiny hot set, some branches.
+    auto povray = AppBuilder("povray", Fp, 309, true)
+        .phase(0.22, 0.07, 0.10, 0.36, 6.5, 24, 0.002, 0.08, 24, 400);
+    add(povray);
+    // soplex: LP solver; sparse matrix sweeps, large WS.
+    auto soplex = AppBuilder("soplex", Fp, 310, false)
+        .phase(0.30, 0.10, 0.10, 0.24, 3.6, 384, 0.12, 0.12, 32, 400);
+    add(soplex);
+    // sphinx3: speech; medium WS, decent ILP.
+    auto sphinx3 = AppBuilder("sphinx3", Fp, 311, true)
+        .phase(0.27, 0.08, 0.07, 0.32, 7.5, 48, 0.003, 0.04, 24, 400);
+    add(sphinx3);
+    // tonto: quantum chemistry; compute-bound (validation app).
+    auto tonto = AppBuilder("tonto", Fp, 312, true)
+        .phase(0.23, 0.08, 0.06, 0.38, 7.5, 32, 0.003, 0.04, 24, 400);
+    add(tonto);
+    // wrf: weather; phased stencil code, moderate WS.
+    auto wrf = AppBuilder("wrf", Fp, 313, true)
+        .phase(0.26, 0.09, 0.05, 0.34, 8.0, 48, 0.004, 0.04, 24, 300)
+        .phase(0.27, 0.10, 0.05, 0.32, 7.5, 40, 0.006, 0.04, 24, 300);
+    add(wrf);
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<AppSpec> &
+Spec2006Suite::all()
+{
+    static const std::vector<AppSpec> suite = buildSuite();
+    return suite;
+}
+
+std::vector<AppSpec>
+Spec2006Suite::trainingSet()
+{
+    return {byName("sjeng"), byName("gobmk"), byName("leslie3d"),
+            byName("namd")};
+}
+
+std::vector<AppSpec>
+Spec2006Suite::validationSet()
+{
+    return {byName("h264ref"), byName("tonto")};
+}
+
+std::vector<AppSpec>
+Spec2006Suite::productionSet()
+{
+    static const std::vector<std::string> training = {
+        "sjeng", "gobmk", "leslie3d", "namd"};
+    std::vector<AppSpec> prod;
+    for (const AppSpec &app : all()) {
+        if (std::find(training.begin(), training.end(), app.name) ==
+            training.end()) {
+            prod.push_back(app);
+        }
+    }
+    return prod;
+}
+
+std::vector<AppSpec>
+Spec2006Suite::responsiveSet()
+{
+    std::vector<AppSpec> out;
+    for (const AppSpec &app : productionSet())
+        if (app.responsive)
+            out.push_back(app);
+    return out;
+}
+
+std::vector<AppSpec>
+Spec2006Suite::nonResponsiveSet()
+{
+    std::vector<AppSpec> out;
+    for (const AppSpec &app : productionSet())
+        if (!app.responsive)
+            out.push_back(app);
+    return out;
+}
+
+const AppSpec &
+Spec2006Suite::byName(const std::string &name)
+{
+    for (const AppSpec &app : all())
+        if (app.name == name)
+            return app;
+    fatal("unknown application '", name, "'");
+}
+
+} // namespace mimoarch

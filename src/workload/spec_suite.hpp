@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The synthetic SPEC CPU 2006 suite.
+ *
+ * The paper runs all of SPEC CPU 2006 except zeusmp on ESESC, split into
+ * a training set (sjeng, gobmk, leslie3d, namd), a validation pair used
+ * for uncertainty estimation (h264ref, tonto), and the production set
+ * (everything else). We mirror that structure with synthetic apps whose
+ * knob-sensitivity signatures match the qualitative characterization of
+ * each benchmark: working-set size determines cache sensitivity, mean
+ * dependency distance determines ILP (and with it frequency/ROB
+ * sensitivity), branch entropy bounds attainable IPC, and streaming
+ * fraction models bandwidth-bound codes.
+ *
+ * The responsive / non-responsive split follows the paper verbatim
+ * (§VIII-D): non-responsive applications cannot reach the 2.5 BIPS
+ * reference at any configuration.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "workload/appspec.hpp"
+
+namespace mimoarch {
+
+/** Accessors for the named synthetic suite. */
+class Spec2006Suite
+{
+  public:
+    /** Every app (training + validation + production), 27 entries. */
+    static const std::vector<AppSpec> &all();
+
+    /** The paper's training set: sjeng, gobmk, leslie3d, namd. */
+    static std::vector<AppSpec> trainingSet();
+
+    /** The paper's validation apps for uncertainty: h264ref, tonto. */
+    static std::vector<AppSpec> validationSet();
+
+    /** The 23 production apps shown in the paper's figures. */
+    static std::vector<AppSpec> productionSet();
+
+    /** Production apps that can reach the 2.5 BIPS reference. */
+    static std::vector<AppSpec> responsiveSet();
+
+    /** Production apps that cannot (paper §VIII-D lists 14). */
+    static std::vector<AppSpec> nonResponsiveSet();
+
+    /** Lookup by name; fatal() when unknown. */
+    static const AppSpec &byName(const std::string &name);
+};
+
+} // namespace mimoarch

@@ -1,0 +1,132 @@
+#include "workload/synthetic_stream.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+SyntheticStream::SyntheticStream(const AppSpec &spec, uint64_t seed_salt)
+    : spec_(spec), rng_(spec.seed * 0x9E3779B97F4A7C15ull + seed_salt)
+{
+    if (spec_.phases.empty())
+        fatal("app '", spec_.name, "' has no phases");
+    enterPhase(0);
+}
+
+void
+SyntheticStream::enterPhase(size_t idx)
+{
+    phaseIdx_ = idx;
+    epochInPhase_ = 0;
+    const PhaseSpec &p = spec_.phases[phaseIdx_];
+
+    // Branch sites: a mix of biased (loop) and data-dependent branches.
+    const size_t num_sites = 64;
+    branchSites_.clear();
+    branchSites_.reserve(num_sites);
+    for (size_t i = 0; i < num_sites; ++i) {
+        BranchSite site;
+        site.pc = kCodeBase + (rng_.uniformInt(p.codeBytes / 4) * 4);
+        if (rng_.uniform() < p.branchEntropy) {
+            // Hard branch: outcome close to a coin flip.
+            site.takenProb = rng_.uniform(0.35, 0.65);
+        } else {
+            // Loop-style branch: strongly biased.
+            site.takenProb = rng_.bernoulli(0.8) ? 0.95 : 0.05;
+        }
+        branchSites_.push_back(site);
+    }
+    streamPtr_ = 0;
+    codePtr_ = 0;
+}
+
+void
+SyntheticStream::nextEpoch()
+{
+    ++epoch_;
+    ++epochInPhase_;
+    const PhaseSpec &p = spec_.phases[phaseIdx_];
+    if (epochInPhase_ >= p.lengthEpochs)
+        enterPhase((phaseIdx_ + 1) % spec_.phases.size());
+}
+
+MicroOp
+SyntheticStream::next()
+{
+    const PhaseSpec &p = spec_.phases[phaseIdx_];
+    MicroOp op;
+
+    // Sequential-ish code layout with occasional jumps.
+    codePtr_ = (codePtr_ + 4) % std::max<uint64_t>(p.codeBytes, 64);
+    if (rng_.bernoulli(0.02))
+        codePtr_ = rng_.uniformInt(std::max<uint64_t>(p.codeBytes, 64));
+    op.pc = kCodeBase + codePtr_;
+
+    // Pick the class from the mix.
+    double r = rng_.uniform();
+    const auto take = [&](double frac) {
+        if (r < frac)
+            return true;
+        r -= frac;
+        return false;
+    };
+    if (take(p.loadFrac)) {
+        op.cls = OpClass::Load;
+    } else if (take(p.storeFrac)) {
+        op.cls = OpClass::Store;
+    } else if (take(p.branchFrac)) {
+        op.cls = OpClass::Branch;
+    } else if (take(p.intMulFrac)) {
+        op.cls = OpClass::IntMul;
+    } else if (take(p.intDivFrac)) {
+        op.cls = OpClass::IntDiv;
+    } else if (take(p.fpAluFrac)) {
+        op.cls = OpClass::FpAlu;
+    } else if (take(p.fpMulFrac)) {
+        op.cls = OpClass::FpMul;
+    } else if (take(p.fpDivFrac)) {
+        op.cls = OpClass::FpDiv;
+    } else {
+        op.cls = OpClass::IntAlu;
+    }
+
+    // Dependencies: geometric around the phase's ILP distance. A second
+    // source exists for a quarter of the ops and reaches further back,
+    // so it rarely sits on the critical path.
+    const double p_stop = 1.0 / std::max(1.5, p.meanDepDist);
+    op.srcDist0 = static_cast<uint16_t>(rng_.geometric(p_stop, 512));
+    op.srcDist1 = rng_.bernoulli(0.25)
+        ? static_cast<uint16_t>(rng_.geometric(p_stop * 0.5, 512))
+        : 0;
+
+    if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+        if (rng_.uniform() < p.streamFrac) {
+            // Streaming access: sequential 64B-line walk.
+            streamPtr_ = (streamPtr_ + 64) %
+                std::max<uint64_t>(p.streamBytes, 4096);
+            op.addr = kStreamBase + streamPtr_;
+        } else {
+            // Hot-set access with a power-law reuse curve: most accesses
+            // concentrate on the head of the region (which LRU keeps in
+            // L1), while the tail exercises the L2 — real programs have
+            // steep reuse-distance distributions.
+            const uint64_t lines =
+                std::max<uint64_t>(p.hotBytes / 64, 1);
+            const double u = rng_.uniform();
+            const uint64_t line =
+                static_cast<uint64_t>(u * u * u *
+                                      static_cast<double>(lines));
+            op.addr = kHotBase + std::min(line, lines - 1) * 64 +
+                rng_.uniformInt(64);
+        }
+    } else if (op.cls == OpClass::Branch) {
+        const BranchSite &site =
+            branchSites_[rng_.uniformInt(branchSites_.size())];
+        op.pc = site.pc;
+        op.taken = rng_.bernoulli(site.takenProb);
+    }
+    return op;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic dynamic micro-op stream generator implementing the core's
+ * InstructionSource interface from an AppSpec.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "sim/instruction.hpp"
+#include "workload/appspec.hpp"
+
+namespace mimoarch {
+
+/**
+ * Generates an infinite micro-op stream from an AppSpec. The stream is
+ * deterministic given (spec.seed, seed_salt). Phases advance on epoch
+ * boundaries via nextEpoch(), driven by the harness.
+ */
+class SyntheticStream : public InstructionSource
+{
+  public:
+    explicit SyntheticStream(const AppSpec &spec, uint64_t seed_salt = 0);
+
+    MicroOp next() override;
+
+    /** Advance the phase clock by one controller epoch. */
+    void nextEpoch();
+
+    /** Index into spec().phases of the current phase. */
+    size_t currentPhase() const { return phaseIdx_; }
+
+    /** Epochs elapsed. */
+    uint64_t epoch() const { return epoch_; }
+
+    const AppSpec &spec() const { return spec_; }
+
+  private:
+    void enterPhase(size_t idx);
+
+    AppSpec spec_;
+    Rng rng_;
+    size_t phaseIdx_ = 0;
+    uint64_t epoch_ = 0;
+    uint64_t epochInPhase_ = 0;
+
+    // Per-phase derived state.
+    struct BranchSite
+    {
+        uint64_t pc;
+        double takenProb;
+    };
+    std::vector<BranchSite> branchSites_;
+    uint64_t streamPtr_ = 0;
+    uint64_t codePtr_ = 0;
+
+    // Address-space bases keep regions disjoint.
+    static constexpr uint64_t kHotBase = 0x1000'0000;
+    static constexpr uint64_t kStreamBase = 0x4000'0000;
+    static constexpr uint64_t kCodeBase = 0x0040'0000;
+};
+
+} // namespace mimoarch

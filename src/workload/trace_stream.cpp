@@ -1,0 +1,140 @@
+#include "workload/trace_stream.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+namespace {
+
+bool
+classFromToken(const std::string &tok, OpClass &cls)
+{
+    if (tok == "IA")
+        cls = OpClass::IntAlu;
+    else if (tok == "IM")
+        cls = OpClass::IntMul;
+    else if (tok == "ID")
+        cls = OpClass::IntDiv;
+    else if (tok == "FA")
+        cls = OpClass::FpAlu;
+    else if (tok == "FM")
+        cls = OpClass::FpMul;
+    else if (tok == "FD")
+        cls = OpClass::FpDiv;
+    else if (tok == "LD")
+        cls = OpClass::Load;
+    else if (tok == "ST")
+        cls = OpClass::Store;
+    else if (tok == "BR")
+        cls = OpClass::Branch;
+    else
+        return false;
+    return true;
+}
+
+uint64_t
+parseHex(const std::string &tok, const std::string &line)
+{
+    char *end = nullptr;
+    const uint64_t v = std::strtoull(tok.c_str(), &end, 16);
+    if (end == tok.c_str() || *end != '\0')
+        fatal("trace: bad hex field '", tok, "' in line: ", line);
+    return v;
+}
+
+uint16_t
+parseDep(const std::string &tok, const std::string &line)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v > 0xFFFF)
+        fatal("trace: bad dependency field '", tok, "' in line: ", line);
+    return static_cast<uint16_t>(v);
+}
+
+} // namespace
+
+bool
+parseTraceLine(const std::string &line, MicroOp &op)
+{
+    std::istringstream is(line);
+    std::string tok;
+    if (!(is >> tok) || tok[0] == '#')
+        return false;
+
+    op = MicroOp{};
+    if (!classFromToken(tok, op.cls))
+        fatal("trace: unknown op class '", tok, "' in line: ", line);
+    std::string pc_tok;
+    if (!(is >> pc_tok))
+        fatal("trace: missing pc in line: ", line);
+    op.pc = parseHex(pc_tok, line);
+
+    if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+        std::string addr_tok;
+        if (!(is >> addr_tok))
+            fatal("trace: missing address in line: ", line);
+        op.addr = parseHex(addr_tok, line);
+    } else if (op.cls == OpClass::Branch) {
+        std::string dir;
+        if (!(is >> dir) || (dir != "T" && dir != "N"))
+            fatal("trace: branch needs T|N in line: ", line);
+        op.taken = dir == "T";
+    }
+
+    if (is >> tok)
+        op.srcDist0 = parseDep(tok, line);
+    if (is >> tok)
+        op.srcDist1 = parseDep(tok, line);
+    if (is >> tok)
+        fatal("trace: trailing junk '", tok, "' in line: ", line);
+    return true;
+}
+
+TraceStream::TraceStream(std::vector<MicroOp> ops) : ops_(std::move(ops))
+{
+    if (ops_.empty())
+        fatal("trace: empty trace");
+}
+
+TraceStream
+TraceStream::fromString(const std::string &text)
+{
+    std::vector<MicroOp> ops;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        MicroOp op;
+        if (parseTraceLine(line, op))
+            ops.push_back(op);
+    }
+    return TraceStream(std::move(ops));
+}
+
+TraceStream
+TraceStream::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("trace: cannot open ", path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return fromString(buf.str());
+}
+
+MicroOp
+TraceStream::next()
+{
+    const MicroOp op = ops_[idx_];
+    if (++idx_ == ops_.size()) {
+        idx_ = 0;
+        ++loops_;
+    }
+    return op;
+}
+
+} // namespace mimoarch

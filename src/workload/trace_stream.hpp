@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Trace-driven instruction source: replays a simple text trace format
+ * so the simulator can run captured workloads instead of (or alongside)
+ * the synthetic suite. This is the adoption path for users who have
+ * real dynamic instruction streams.
+ *
+ * Trace format: one micro-op per line,
+ *
+ *   <class> <pc-hex> [addr-hex] [T|N] [dep0] [dep1]
+ *
+ * where <class> is one of IA IM ID FA FM FD LD ST BR (integer ALU/mul/
+ * div, FP add/mul/div, load, store, branch); loads/stores carry the
+ * address, branches carry the outcome (T/N), and dep0/dep1 are producer
+ * distances in dynamic micro-ops (0 = none). Lines starting with '#'
+ * are comments. The trace loops forever (the stream interface requires
+ * an infinite source).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/instruction.hpp"
+
+namespace mimoarch {
+
+/** Replays a parsed trace in a loop. */
+class TraceStream : public InstructionSource
+{
+  public:
+    /** Parse @p text (the format above); fatal() on malformed lines. */
+    static TraceStream fromString(const std::string &text);
+
+    /** Load a trace file; fatal() on I/O or parse errors. */
+    static TraceStream fromFile(const std::string &path);
+
+    /** Build directly from decoded micro-ops. */
+    explicit TraceStream(std::vector<MicroOp> ops);
+
+    MicroOp next() override;
+
+    size_t length() const { return ops_.size(); }
+
+    /** Number of full replays completed. */
+    uint64_t loops() const { return loops_; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    size_t idx_ = 0;
+    uint64_t loops_ = 0;
+};
+
+/** Parse one trace line into a micro-op; returns false for blanks and
+ *  comments; fatal() on malformed input (with the line echoed). */
+bool parseTraceLine(const std::string &line, MicroOp &op);
+
+} // namespace mimoarch

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * PID controller tests: first-order plant tracking, anti-windup,
+ * saturation, and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/pid.hpp"
+
+namespace mimoarch {
+namespace {
+
+/** First-order plant y+ = 0.8 y + 0.2 u. */
+struct FirstOrderPlant
+{
+    double y = 0.0;
+
+    double
+    step(double u)
+    {
+        y = 0.8 * y + 0.2 * u;
+        return y;
+    }
+};
+
+TEST(Pid, TracksStepReference)
+{
+    PidConfig cfg;
+    cfg.kp = 1.0;
+    cfg.ki = 0.4;
+    cfg.outputLo = -10.0;
+    cfg.outputHi = 10.0;
+    PidController pid(cfg);
+    pid.setReference(1.0);
+    FirstOrderPlant plant;
+    double u = 0.0;
+    for (int t = 0; t < 300; ++t)
+        u = pid.step(plant.step(u));
+    EXPECT_NEAR(plant.y, 1.0, 1e-3);
+}
+
+TEST(Pid, IntegratorRemovesSteadyStateError)
+{
+    // Pure P control leaves an offset on this plant; PI removes it.
+    const auto final_error = [](double ki) {
+        PidConfig cfg;
+        cfg.kp = 0.5;
+        cfg.ki = ki;
+        cfg.outputLo = -10.0;
+        cfg.outputHi = 10.0;
+        PidController pid(cfg);
+        pid.setReference(1.0);
+        FirstOrderPlant plant;
+        double u = 0.0;
+        for (int t = 0; t < 500; ++t)
+            u = pid.step(plant.step(u));
+        return std::abs(plant.y - 1.0);
+    };
+    EXPECT_GT(final_error(0.0), 0.2);
+    EXPECT_LT(final_error(0.3), 1e-3);
+}
+
+TEST(Pid, OutputAlwaysWithinLimits)
+{
+    PidConfig cfg;
+    cfg.kp = 100.0;
+    cfg.ki = 10.0;
+    cfg.outputLo = -1.0;
+    cfg.outputHi = 2.0;
+    PidController pid(cfg);
+    pid.setReference(50.0);
+    FirstOrderPlant plant;
+    double u = 0.0;
+    for (int t = 0; t < 50; ++t) {
+        u = pid.step(plant.step(u));
+        EXPECT_GE(u, -1.0);
+        EXPECT_LE(u, 2.0);
+    }
+}
+
+TEST(Pid, AntiWindupLimitsOvershootAfterSaturation)
+{
+    PidConfig cfg;
+    cfg.kp = 0.8;
+    cfg.ki = 0.3;
+    cfg.outputLo = 0.0;
+    cfg.outputHi = 1.5;
+    PidController pid(cfg);
+    FirstOrderPlant plant;
+    double u = 0.0;
+    // Unreachable reference saturates the actuator for a long time.
+    pid.setReference(10.0);
+    for (int t = 0; t < 300; ++t)
+        u = pid.step(plant.step(u));
+    // Reachable reference: with anti-windup the actuator backs off
+    // quickly instead of draining a wound-up integrator.
+    pid.setReference(0.5);
+    int settle = -1;
+    for (int t = 0; t < 200; ++t) {
+        u = pid.step(plant.step(u));
+        if (settle < 0 && std::abs(plant.y - 0.5) < 0.02)
+            settle = t;
+    }
+    EXPECT_NEAR(plant.y, 0.5, 0.02);
+    ASSERT_GE(settle, 0);
+    EXPECT_LT(settle, 120);
+}
+
+TEST(Pid, ResetClearsState)
+{
+    PidConfig cfg;
+    cfg.ki = 0.5;
+    cfg.outputLo = -5.0;
+    cfg.outputHi = 5.0;
+    PidController pid(cfg);
+    pid.setReference(1.0);
+    for (int t = 0; t < 50; ++t)
+        pid.step(0.0);
+    pid.reset();
+    // After reset the first command equals the no-history response.
+    PidController fresh(cfg);
+    fresh.setReference(1.0);
+    EXPECT_DOUBLE_EQ(pid.step(0.0), fresh.step(0.0));
+}
+
+TEST(Pid, InvalidConfigIsFatal)
+{
+    PidConfig bad;
+    bad.outputLo = 1.0;
+    bad.outputHi = 0.0;
+    EXPECT_EXIT(PidController pid(bad), testing::ExitedWithCode(1),
+                "range");
+    PidConfig bad2;
+    bad2.derivativeFilter = 1.5;
+    EXPECT_EXIT(PidController pid(bad2), testing::ExitedWithCode(1),
+                "filter");
+}
+
+} // namespace
+} // namespace mimoarch

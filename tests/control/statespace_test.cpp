@@ -1,0 +1,149 @@
+/**
+ * @file
+ * State-space model tests: scaling round-trips, simulation against
+ * hand-computed recursions, and transfer-function evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/statespace.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(SignalScaling, IdentityIsNoOp)
+{
+    const SignalScaling s = SignalScaling::identity(2);
+    const Matrix v = Matrix::vector({3.0, -1.0});
+    EXPECT_TRUE(approxEqual(s.toScaled(v), v));
+    EXPECT_TRUE(approxEqual(s.toPhysical(v), v));
+}
+
+TEST(SignalScaling, FitRecoversMeanAndStd)
+{
+    Matrix data(4, 1);
+    data(0, 0) = 1.0;
+    data(1, 0) = 3.0;
+    data(2, 0) = 5.0;
+    data(3, 0) = 7.0;
+    const SignalScaling s = SignalScaling::fit(data);
+    EXPECT_NEAR(s.offset[0], 4.0, 1e-12);
+    // Sample std of {1,3,5,7} = sqrt(20/3).
+    EXPECT_NEAR(s.scale[0], std::sqrt(20.0 / 3.0), 1e-12);
+}
+
+TEST(SignalScaling, RoundTrip)
+{
+    Matrix data(16, 2);
+    for (size_t r = 0; r < 16; ++r) {
+        data(r, 0) = 2.0 + 0.5 * static_cast<double>(r);
+        data(r, 1) = -1.0 + 0.1 * static_cast<double>(r % 5);
+    }
+    const SignalScaling s = SignalScaling::fit(data);
+    EXPECT_TRUE(approxEqual(s.toPhysical(s.toScaled(data)), data, 1e-10));
+}
+
+TEST(SignalScaling, ScaledDataIsZScored)
+{
+    Matrix data(100, 1);
+    for (size_t r = 0; r < 100; ++r)
+        data(r, 0) = 10.0 + static_cast<double>(r % 7);
+    const SignalScaling s = SignalScaling::fit(data);
+    const Matrix z = s.toScaled(data);
+    double mean = 0.0;
+    for (size_t r = 0; r < 100; ++r)
+        mean += z(r, 0);
+    EXPECT_NEAR(mean / 100.0, 0.0, 1e-10);
+}
+
+TEST(SignalScaling, WeightScalingMatchesQuadraticForm)
+{
+    SignalScaling s;
+    s.offset = {0.0, 0.0};
+    s.scale = {2.0, 5.0};
+    const Matrix w_phys = Matrix::diag({3.0, 7.0});
+    const Matrix w_scaled = s.scaleWeight(w_phys);
+    // e_phys = S e_scaled, so e_p' W e_p = e_s' S W S e_s.
+    EXPECT_NEAR(w_scaled(0, 0), 4.0 * 3.0, 1e-12);
+    EXPECT_NEAR(w_scaled(1, 1), 25.0 * 7.0, 1e-12);
+}
+
+StateSpaceModel
+simpleModel()
+{
+    StateSpaceModel m;
+    m.a = Matrix{{0.5}};
+    m.b = Matrix{{1.0}};
+    m.c = Matrix{{2.0}};
+    m.d = Matrix{{0.0}};
+    m.inputScaling = SignalScaling::identity(1);
+    m.outputScaling = SignalScaling::identity(1);
+    return m;
+}
+
+TEST(StateSpace, SimulateMatchesHandComputation)
+{
+    const StateSpaceModel m = simpleModel();
+    Matrix u(3, 1);
+    u(0, 0) = 1.0;
+    u(1, 0) = 0.0;
+    u(2, 0) = 0.0;
+    const Matrix y = m.simulate(u, Matrix(1, 1));
+    // x: 0, 1, 0.5; y = 2x: 0, 2, 1.
+    EXPECT_NEAR(y(0, 0), 0.0, 1e-12);
+    EXPECT_NEAR(y(1, 0), 2.0, 1e-12);
+    EXPECT_NEAR(y(2, 0), 1.0, 1e-12);
+}
+
+TEST(StateSpace, FeedthroughAppearsImmediately)
+{
+    StateSpaceModel m = simpleModel();
+    m.d = Matrix{{3.0}};
+    Matrix u(1, 1);
+    u(0, 0) = 2.0;
+    const Matrix y = m.simulate(u, Matrix(1, 1));
+    EXPECT_NEAR(y(0, 0), 6.0, 1e-12);
+}
+
+TEST(StateSpace, TransferFunctionKnownValue)
+{
+    // G(z) = 2 / (z - 0.5); at z = 1, G = 4.
+    const StateSpaceModel m = simpleModel();
+    const CMatrix g = m.transferAt({1.0, 0.0});
+    EXPECT_NEAR(g(0, 0).real(), 4.0, 1e-12);
+    EXPECT_NEAR(g(0, 0).imag(), 0.0, 1e-12);
+}
+
+TEST(StateSpace, TransferFunctionWithFeedthrough)
+{
+    StateSpaceModel m = simpleModel();
+    m.d = Matrix{{1.5}};
+    const CMatrix g = m.transferAt({2.0, 0.0});
+    // 2/(2-0.5) + 1.5 = 1.3333 + 1.5.
+    EXPECT_NEAR(g(0, 0).real(), 2.0 / 1.5 + 1.5, 1e-12);
+}
+
+TEST(StateSpace, DcGainMatchesSimulationSteadyState)
+{
+    StateSpaceModel m;
+    m.a = Matrix{{0.6, 0.1}, {0.0, 0.7}};
+    m.b = Matrix{{1.0}, {0.5}};
+    m.c = Matrix{{1.0, 1.0}};
+    m.d = Matrix{{0.2}};
+    m.inputScaling = SignalScaling::identity(1);
+    m.outputScaling = SignalScaling::identity(1);
+    const CMatrix dc = m.transferAt({1.0, 0.0});
+    Matrix u(400, 1, 1.0);
+    const Matrix y = m.simulate(u, Matrix(2, 1));
+    EXPECT_NEAR(y(399, 0), dc(0, 0).real(), 1e-9);
+}
+
+TEST(StateSpace, ValidatePanicsOnBadShapes)
+{
+    StateSpaceModel m = simpleModel();
+    m.b = Matrix(2, 1);
+    EXPECT_DEATH(m.validate(), "inconsistent");
+}
+
+} // namespace
+} // namespace mimoarch

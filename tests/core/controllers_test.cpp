@@ -1,0 +1,230 @@
+/**
+ * @file
+ * ArchController tests: the Heuristic rule set's directions, the Fixed
+ * baseline, the MIMO wrapper on a synthetic model, Decoupled wiring,
+ * and the heuristic search controller on a mock observation stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controllers.hpp"
+#include "core/heuristic_search.hpp"
+
+namespace mimoarch {
+namespace {
+
+Observation
+obsOf(double ips, double power, double mpki = 1.0, double ipc = 1.5)
+{
+    Observation o;
+    o.y = Matrix::vector({ips, power});
+    o.l2Mpki = mpki;
+    o.ipc = ipc;
+    return o;
+}
+
+TEST(FixedController, AlwaysReturnsItsSettings)
+{
+    KnobSettings s;
+    s.freqLevel = 5;
+    FixedController c(s);
+    EXPECT_TRUE(c.update(obsOf(0.1, 5.0)) == s);
+    EXPECT_TRUE(c.update(obsOf(9.0, 0.1)) == s);
+    EXPECT_EQ(c.name(), "Baseline");
+}
+
+HeuristicArchController
+makeHeuristic()
+{
+    return HeuristicArchController(KnobSpace(false), {}, 2.0, 2.0);
+}
+
+TEST(Heuristic, PowerOverBudgetCutsResources)
+{
+    auto h = makeHeuristic();
+    KnobSettings start;
+    start.freqLevel = 10;
+    start.cacheSetting = 2;
+    h.initialize(start);
+    // Power 30% over budget; compute-bound (cache ranked last).
+    KnobSettings s = start;
+    for (int i = 0; i < 4; ++i)
+        s = h.update(obsOf(2.0, 2.6, 0.5));
+    // Some resource must have been shed.
+    EXPECT_TRUE(s.freqLevel < start.freqLevel ||
+                s.cacheSetting < start.cacheSetting);
+}
+
+TEST(Heuristic, UnderPerformanceRaisesTopRankedFeature)
+{
+    auto h = makeHeuristic();
+    KnobSettings start;
+    start.freqLevel = 6;
+    start.cacheSetting = 1;
+    h.initialize(start);
+    // IPS far below target, power below budget, compute-bound.
+    KnobSettings s = start;
+    for (int i = 0; i < 4; ++i)
+        s = h.update(obsOf(1.0, 1.2, 0.5));
+    EXPECT_GT(s.freqLevel, start.freqLevel);
+}
+
+TEST(Heuristic, MemoryBoundPrefersCacheForPerformance)
+{
+    auto h = makeHeuristic();
+    KnobSettings start;
+    start.freqLevel = 6;
+    start.cacheSetting = 1;
+    h.initialize(start);
+    KnobSettings s = start;
+    for (int i = 0; i < 4; ++i)
+        s = h.update(obsOf(1.0, 1.2, /*mpki=*/20.0));
+    EXPECT_GT(s.cacheSetting, start.cacheSetting);
+}
+
+TEST(Heuristic, DeadZoneHoldsSteady)
+{
+    auto h = makeHeuristic();
+    KnobSettings start;
+    start.freqLevel = 8;
+    start.cacheSetting = 2;
+    h.initialize(start);
+    KnobSettings s = start;
+    for (int i = 0; i < 10; ++i)
+        s = h.update(obsOf(1.98, 2.02));
+    EXPECT_TRUE(s == start);
+}
+
+TEST(Heuristic, OverPerformanceShedsToSavePower)
+{
+    auto h = makeHeuristic();
+    KnobSettings start;
+    start.freqLevel = 12;
+    start.cacheSetting = 3;
+    h.initialize(start);
+    KnobSettings s = start;
+    for (int i = 0; i < 6; ++i)
+        s = h.update(obsOf(2.8, 1.9, 0.5));
+    EXPECT_TRUE(s.freqLevel < start.freqLevel ||
+                s.cacheSetting < start.cacheSetting);
+}
+
+StateSpaceModel
+syntheticPlantModel()
+{
+    // A well-behaved 2-input model in the knobs' physical units:
+    // IPS ~ f and cache; power ~ f mostly.
+    StateSpaceModel m;
+    m.a = Matrix::diag({0.3, 0.3});
+    m.b = Matrix{{0.7, 0.14}, {0.45, 0.07}};
+    m.c = Matrix::identity(2);
+    m.d = Matrix(2, 2);
+    m.qn = Matrix::identity(2) * 1e-4;
+    m.rn = Matrix::identity(2) * 1e-3;
+    m.inputScaling = SignalScaling::identity(2);
+    m.outputScaling = SignalScaling::identity(2);
+    // Operating offsets so physical targets make sense.
+    m.inputScaling.offset = {1.25, 2.5};
+    m.inputScaling.scale = {0.45, 1.1};
+    m.outputScaling.offset = {1.0, 1.2};
+    m.outputScaling.scale = {0.5, 0.4};
+    return m;
+}
+
+TEST(MimoController, QuantizesToValidSettings)
+{
+    KnobSpace knobs(false);
+    LqgWeights w;
+    w.outputWeights = {10.0, 10000.0};
+    w.inputWeights = {1000.0, 50.0};
+    MimoArchController ctrl(syntheticPlantModel(), w, knobs);
+    ctrl.setReference(2.0, 2.0);
+    KnobSettings init;
+    ctrl.initialize(init);
+    for (int i = 0; i < 20; ++i) {
+        const KnobSettings s = ctrl.update(obsOf(1.5, 1.5));
+        EXPECT_LE(s.freqLevel, 15u);
+        EXPECT_LE(s.cacheSetting, 3u);
+    }
+}
+
+TEST(MimoController, ReferenceRoundTrip)
+{
+    KnobSpace knobs(false);
+    LqgWeights w;
+    w.outputWeights = {10.0, 10000.0};
+    w.inputWeights = {1000.0, 50.0};
+    MimoArchController ctrl(syntheticPlantModel(), w, knobs);
+    ctrl.setReference(1.7, 2.3);
+    const auto [ips0, p0] = ctrl.reference();
+    EXPECT_DOUBLE_EQ(ips0, 1.7);
+    EXPECT_DOUBLE_EQ(p0, 2.3);
+}
+
+TEST(MimoController, RejectsWrongInputCount)
+{
+    KnobSpace knobs(true); // 3 inputs, model has 2
+    LqgWeights w;
+    w.outputWeights = {10.0, 10000.0};
+    w.inputWeights = {1000.0, 50.0, 100.0};
+    EXPECT_EXIT(MimoArchController(syntheticPlantModel(), w, knobs),
+                testing::ExitedWithCode(1), "input");
+}
+
+TEST(Decoupled, RefusesThreeInputKnobSpace)
+{
+    StateSpaceModel siso;
+    siso.a = Matrix{{0.5}};
+    siso.b = Matrix{{0.5}};
+    siso.c = Matrix{{1.0}};
+    siso.d = Matrix{{0.0}};
+    siso.qn = Matrix{{1e-4}};
+    siso.rn = Matrix{{1e-3}};
+    siso.inputScaling = SignalScaling::identity(1);
+    siso.outputScaling = SignalScaling::identity(1);
+    LqgWeights w;
+    w.outputWeights = {10.0};
+    w.inputWeights = {100.0};
+    EXPECT_EXIT(DecoupledArchController(siso, siso, w, w,
+                                        KnobSpace(true)),
+                testing::ExitedWithCode(1), "3 inputs");
+}
+
+TEST(HeuristicSearch, FindsBetterMetricOnMockPlant)
+{
+    // Mock plant: metric improves with frequency (compute-bound). The
+    // search should end at a higher frequency than it started.
+    KnobSpace knobs(false);
+    HeuristicSearchConfig cfg;
+    cfg.settleEpochs = 2;
+    cfg.measureEpochs = 2;
+    HeuristicSearchController h(knobs, cfg);
+    KnobSettings s = knobs.midrange();
+    h.initialize(s);
+    for (int i = 0; i < 400; ++i) {
+        const double f = DvfsController::freqAtLevel(s.freqLevel);
+        const double ips = 1.4 * f;
+        const double power = 0.5 + 0.6 * f;
+        s = h.update(obsOf(ips, power, 0.5));
+    }
+    EXPECT_GT(s.freqLevel, knobs.midrange().freqLevel);
+}
+
+TEST(HeuristicSearch, RespectsTrialBudget)
+{
+    KnobSpace knobs(false);
+    HeuristicSearchConfig cfg;
+    cfg.settleEpochs = 1;
+    cfg.measureEpochs = 1;
+    cfg.maxTries = 4;
+    HeuristicSearchController h(knobs, cfg);
+    h.initialize(knobs.midrange());
+    KnobSettings s = knobs.midrange();
+    for (int i = 0; i < 100; ++i)
+        s = h.update(obsOf(1.5, 1.5, 0.5));
+    EXPECT_LE(h.trials(), 4u);
+    EXPECT_FALSE(h.searching());
+}
+
+} // namespace
+} // namespace mimoarch

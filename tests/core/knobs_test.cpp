@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Knob-space tests: Table III setting enumerations, vector round-trips,
+ * quantization, hysteresis, and processor application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/knobs.hpp"
+#include "workload/spec_suite.hpp"
+#include "workload/synthetic_stream.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(KnobSpace, TwoAndThreeInputVariants)
+{
+    EXPECT_EQ(KnobSpace(false).numInputs(), 2u);
+    EXPECT_EQ(KnobSpace(true).numInputs(), 3u);
+}
+
+TEST(KnobSpace, VectorRoundTrip)
+{
+    KnobSpace knobs(true);
+    KnobSettings s;
+    s.freqLevel = 11;
+    s.cacheSetting = 2;
+    s.robPartitions = 5;
+    const Matrix u = knobs.toVector(s);
+    EXPECT_NEAR(u[0], 1.6, 1e-12);
+    EXPECT_NEAR(u[1], 3.0, 1e-12);
+    EXPECT_NEAR(u[2], 5.0, 1e-12);
+    EXPECT_TRUE(knobs.quantize(u) == s);
+}
+
+TEST(KnobSpace, QuantizeRoundsToNearest)
+{
+    KnobSpace knobs(false);
+    const KnobSettings s =
+        knobs.quantize(Matrix::vector({1.24, 2.6}));
+    EXPECT_EQ(s.freqLevel, 7u); // 1.2 GHz
+    EXPECT_EQ(s.cacheSetting, 2u); // setting value 3 -> index 2
+}
+
+TEST(KnobSpace, QuantizeClampsOutOfRange)
+{
+    KnobSpace knobs(true);
+    const KnobSettings lo =
+        knobs.quantize(Matrix::vector({-1.0, -5.0, 0.0}));
+    EXPECT_EQ(lo.freqLevel, 0u);
+    EXPECT_EQ(lo.cacheSetting, 0u);
+    EXPECT_EQ(lo.robPartitions, 1u);
+    const KnobSettings hi =
+        knobs.quantize(Matrix::vector({9.0, 9.0, 99.0}));
+    EXPECT_EQ(hi.freqLevel, 15u);
+    EXPECT_EQ(hi.cacheSetting, 3u);
+    EXPECT_EQ(hi.robPartitions, 8u);
+}
+
+TEST(KnobSpace, HysteresisSuppressesSmallMoves)
+{
+    KnobSpace knobs(false);
+    KnobSettings cur;
+    cur.freqLevel = 8; // 1.3 GHz
+    cur.cacheSetting = 2;
+    // 1.36 GHz would round to level 9, but it is within the
+    // hysteresis band of 1.3.
+    KnobSettings next = knobs.quantizeWithHysteresis(
+        Matrix::vector({1.36, 3.0}), cur);
+    EXPECT_EQ(next.freqLevel, 8u);
+    // 1.44 GHz is beyond the band: moves.
+    next = knobs.quantizeWithHysteresis(Matrix::vector({1.44, 3.0}), cur);
+    EXPECT_EQ(next.freqLevel, 9u);
+}
+
+TEST(KnobSpace, HysteresisAppliesPerKnob)
+{
+    KnobSpace knobs(false);
+    KnobSettings cur;
+    cur.freqLevel = 8;
+    cur.cacheSetting = 1; // value 2.0
+    // Cache command 2.7: nearest is 3 but within the band; keeps 2.
+    KnobSettings next = knobs.quantizeWithHysteresis(
+        Matrix::vector({1.3, 2.7}), cur);
+    EXPECT_EQ(next.cacheSetting, 1u);
+    // Cache command 2.9: crosses the band; moves.
+    next = knobs.quantizeWithHysteresis(Matrix::vector({1.3, 2.9}), cur);
+    EXPECT_EQ(next.cacheSetting, 2u);
+}
+
+TEST(KnobSpace, ChannelsMatchTableIII)
+{
+    KnobSpace knobs(true);
+    const auto ch = knobs.channels();
+    ASSERT_EQ(ch.size(), 3u);
+    EXPECT_EQ(ch[0].levels.size(), 16u);
+    EXPECT_DOUBLE_EQ(ch[0].levels.front(), 0.5);
+    EXPECT_DOUBLE_EQ(ch[0].levels.back(), 2.0);
+    EXPECT_EQ(ch[1].levels.size(), 4u);
+    EXPECT_EQ(ch[2].levels.size(), 8u);
+}
+
+TEST(KnobSpace, ApplyAndReadBack)
+{
+    KnobSpace knobs(true);
+    SyntheticStream stream(Spec2006Suite::byName("namd"));
+    Processor proc(ProcessorConfig{}, &stream);
+    KnobSettings s;
+    s.freqLevel = 5;
+    s.cacheSetting = 1;
+    s.robPartitions = 3;
+    knobs.apply(proc, s);
+    proc.runEpoch(); // let the ROB resize settle
+    EXPECT_TRUE(knobs.read(proc) == s);
+    EXPECT_EQ(proc.robSize(), 48u);
+}
+
+TEST(KnobSpace, MidrangeMatchesPaper)
+{
+    // §VI-B: the optimizer restarts from 1 GHz and (4,2) associativity.
+    const KnobSettings mid = KnobSpace(false).midrange();
+    EXPECT_NEAR(DvfsController::freqAtLevel(mid.freqLevel), 1.0, 1e-12);
+    EXPECT_EQ(mid.cacheSetting, 1u);
+}
+
+TEST(KnobSpace, LimitsSpanTheRanges)
+{
+    KnobSpace knobs(true);
+    EXPECT_EQ(knobs.lowerLimits(),
+              (std::vector<double>{0.5, 1.0, 1.0}));
+    EXPECT_EQ(knobs.upperLimits(),
+              (std::vector<double>{2.0, 4.0, 8.0}));
+}
+
+} // namespace
+} // namespace mimoarch

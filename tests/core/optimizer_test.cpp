@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Optimizer tests against an analytic mock plant: the search must climb
+ * toward higher IPS^k/P when the tradeoff favours it, reject infeasible
+ * proposals, respect the trial budget, and settle at the best point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+
+namespace mimoarch {
+namespace {
+
+/**
+ * Mock tracking controller + plant: tracks whatever reference it gets,
+ * subject to a feasibility envelope IPS <= f(P) and a power cap.
+ */
+class MockTrackedPlant : public ArchController
+{
+  public:
+    /** IPS = effToIps * P up to capPower (compute-bound-like). */
+    MockTrackedPlant(double eff, double cap)
+        : eff_(eff), cap_(cap)
+    {}
+
+    KnobSettings update(const Observation &) override { return {}; }
+
+    void
+    setReference(double ips0, double power0) override
+    {
+        ips0_ = ips0;
+        power0_ = power0;
+    }
+
+    std::pair<double, double>
+    reference() const override
+    {
+        return {ips0_, power0_};
+    }
+
+    void initialize(const KnobSettings &) override {}
+    std::string name() const override { return "mock"; }
+
+    /** What the plant actually delivers for the current reference. */
+    Matrix
+    observe() const
+    {
+        const double p = std::min(power0_, cap_);
+        const double ips = std::min(ips0_, eff_ * p);
+        return Matrix::vector({ips, p});
+    }
+
+  private:
+    double eff_;
+    double cap_;
+    double ips0_ = 1.0;
+    double power0_ = 1.0;
+};
+
+OptimizerConfig
+fastConfig()
+{
+    OptimizerConfig cfg;
+    cfg.settleEpochs = 2;
+    cfg.measureEpochs = 2;
+    cfg.maxTries = 12;
+    cfg.confirmAccepts = false;
+    return cfg;
+}
+
+TEST(Optimizer, ClimbsUpForComputeBoundPlant)
+{
+    // IPS = 1.5 P: pushing power up raises IPS^2/P proportionally, so
+    // the search should march to the power cap.
+    MockTrackedPlant plant(1.5, 3.0);
+    plant.setReference(1.5, 1.0);
+    Optimizer opt(plant, fastConfig());
+    opt.startSearch(plant.observe());
+    for (int i = 0; i < 600 && opt.searching(); ++i)
+        opt.observe(plant.observe());
+    EXPECT_FALSE(opt.searching());
+    const auto [ips0, p0] = plant.reference();
+    EXPECT_GT(p0, 1.7); // well above the start
+    EXPECT_GT(ips0, 2.5);
+}
+
+TEST(Optimizer, StaysPutWhenAtTheCap)
+{
+    // Already at the cap: every proposal fails; the trial budget is
+    // consumed and the references return to the start.
+    MockTrackedPlant plant(1.5, 1.0);
+    plant.setReference(1.5, 1.0);
+    Optimizer opt(plant, fastConfig());
+    const Matrix y0 = plant.observe();
+    opt.startSearch(y0);
+    for (int i = 0; i < 600 && opt.searching(); ++i)
+        opt.observe(plant.observe());
+    const auto [ips0, p0] = plant.reference();
+    EXPECT_NEAR(p0, 1.0, 0.1);
+    EXPECT_EQ(opt.trials(), fastConfig().maxTries);
+}
+
+TEST(Optimizer, MetricExponentChangesTheObjective)
+{
+    // With k=1 (energy), IPS^1/P on the proportional plant is flat
+    // (= eff), so up moves should mostly be rejected and the final
+    // reference should stay near the start.
+    MockTrackedPlant plant(1.5, 3.0);
+    plant.setReference(1.5, 1.0);
+    OptimizerConfig cfg = fastConfig();
+    cfg.metricExponent = 1;
+    Optimizer opt(plant, cfg);
+    opt.startSearch(plant.observe());
+    for (int i = 0; i < 600 && opt.searching(); ++i)
+        opt.observe(plant.observe());
+    const auto [ips0, p0] = plant.reference();
+    EXPECT_LT(p0, 1.5);
+}
+
+TEST(Optimizer, BudgetRespected)
+{
+    MockTrackedPlant plant(1.5, 3.0);
+    Optimizer opt(plant, fastConfig());
+    opt.startSearch(plant.observe());
+    for (int i = 0; i < 2000 && opt.searching(); ++i)
+        opt.observe(plant.observe());
+    EXPECT_LE(opt.trials(), fastConfig().maxTries);
+    EXPECT_FALSE(opt.searching());
+}
+
+TEST(Optimizer, ConfirmationRequiresTwoWindows)
+{
+    // With confirmation on, an accepted trial takes settle + 2 windows.
+    MockTrackedPlant plant(1.5, 3.0);
+    plant.setReference(1.5, 1.0);
+    OptimizerConfig cfg = fastConfig();
+    cfg.confirmAccepts = true;
+    cfg.maxTries = 1;
+    Optimizer opt(plant, cfg);
+    opt.startSearch(plant.observe());
+    int steps = 0;
+    while (opt.searching() && steps < 100) {
+        opt.observe(plant.observe());
+        ++steps;
+    }
+    // settle (2) + measure (2) + confirm (2) for the single trial.
+    EXPECT_GE(steps, 6);
+}
+
+TEST(Optimizer, InvalidConfigIsFatal)
+{
+    MockTrackedPlant plant(1.0, 1.0);
+    OptimizerConfig bad;
+    bad.maxTries = 0;
+    EXPECT_EXIT(Optimizer(plant, bad), testing::ExitedWithCode(1),
+                "zero");
+}
+
+} // namespace
+} // namespace mimoarch

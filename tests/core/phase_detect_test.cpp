@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Phase detector tests: steady signals never trigger, persistent shifts
+ * do, single spikes are rejected, and the cooldown throttles detections.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/phase_detect.hpp"
+
+namespace mimoarch {
+namespace {
+
+PhaseDetectorConfig
+fastConfig()
+{
+    PhaseDetectorConfig cfg;
+    cfg.warmupEpochs = 20;
+    cfg.cooldownEpochs = 50;
+    cfg.persistenceEpochs = 4;
+    return cfg;
+}
+
+TEST(PhaseDetector, SteadySignalNeverTriggers)
+{
+    PhaseDetector pd(fastConfig());
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const bool hit = pd.observe(1.5 + rng.normal(0.0, 0.05),
+                                    2.0 + rng.normal(0.0, 0.1));
+        EXPECT_FALSE(hit) << "at epoch " << i;
+    }
+    EXPECT_EQ(pd.detections(), 0u);
+}
+
+TEST(PhaseDetector, PersistentShiftTriggersOnce)
+{
+    PhaseDetector pd(fastConfig());
+    for (int i = 0; i < 200; ++i)
+        pd.observe(1.5, 2.0);
+    int hits = 0;
+    for (int i = 0; i < 60; ++i)
+        hits += pd.observe(0.5, 12.0) ? 1 : 0;
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(PhaseDetector, SingleSpikeIsIgnored)
+{
+    PhaseDetector pd(fastConfig());
+    for (int i = 0; i < 100; ++i)
+        pd.observe(1.5, 2.0);
+    EXPECT_FALSE(pd.observe(0.2, 20.0)); // one wild epoch
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(pd.observe(1.5, 2.0));
+    EXPECT_EQ(pd.detections(), 0u);
+}
+
+TEST(PhaseDetector, CooldownThrottlesDetections)
+{
+    PhaseDetectorConfig cfg = fastConfig();
+    PhaseDetector pd(cfg);
+    for (int i = 0; i < 100; ++i)
+        pd.observe(1.0, 1.0);
+    // Alternate between two very different signatures every 10 epochs;
+    // detections cannot come faster than the cooldown.
+    int hits = 0;
+    for (int block = 0; block < 40; ++block) {
+        const double ipc = block % 2 ? 0.5 : 3.0;
+        for (int i = 0; i < 10; ++i)
+            hits += pd.observe(ipc, 1.0) ? 1 : 0;
+    }
+    EXPECT_LE(hits, 400 / static_cast<int>(cfg.cooldownEpochs) + 1);
+    EXPECT_GE(hits, 2);
+}
+
+TEST(PhaseDetector, NoDetectionDuringWarmup)
+{
+    PhaseDetector pd(fastConfig());
+    for (int i = 0; i < 15; ++i)
+        EXPECT_FALSE(pd.observe(i % 2 ? 0.2 : 3.0, 1.0));
+}
+
+TEST(PhaseDetector, ResetClearsHistory)
+{
+    PhaseDetector pd(fastConfig());
+    for (int i = 0; i < 200; ++i)
+        pd.observe(1.5, 2.0);
+    for (int i = 0; i < 10; ++i)
+        pd.observe(0.3, 15.0);
+    EXPECT_GE(pd.detections(), 1u);
+    pd.reset();
+    EXPECT_EQ(pd.detections(), 0u);
+}
+
+TEST(PhaseDetector, BadAlphaIsFatal)
+{
+    PhaseDetectorConfig bad;
+    bad.alpha = 1.5;
+    EXPECT_EXIT(PhaseDetector pd(bad), testing::ExitedWithCode(1),
+                "alpha");
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SimPlant tests: the Plant contract (apply settings, read outputs),
+ * auxiliary sensors, accounting, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/plant.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(SimPlant, StepReturnsIpsAndPower)
+{
+    KnobSpace knobs(false);
+    SimPlant plant(Spec2006Suite::byName("namd"), knobs);
+    plant.warmup(100);
+    KnobSettings s;
+    const Matrix y = plant.step(s);
+    ASSERT_EQ(y.rows(), kNumPlantOutputs);
+    EXPECT_GT(y[kOutputIps], 0.0);
+    EXPECT_GT(y[kOutputPower], 0.0);
+}
+
+TEST(SimPlant, SettingsAreApplied)
+{
+    KnobSpace knobs(true);
+    SimPlant plant(Spec2006Suite::byName("sjeng"), knobs);
+    KnobSettings s;
+    s.freqLevel = 2;
+    s.cacheSetting = 0;
+    s.robPartitions = 2;
+    plant.step(s);
+    plant.step(s); // ROB shrink settles
+    EXPECT_TRUE(plant.currentSettings() == s);
+}
+
+TEST(SimPlant, AuxiliarySensorsPopulated)
+{
+    KnobSpace knobs(false);
+    SimPlant plant(Spec2006Suite::byName("mcf"), knobs);
+    plant.warmup(150);
+    plant.step(KnobSettings{});
+    EXPECT_GT(plant.lastIpc(), 0.0);
+    EXPECT_GT(plant.lastL2Mpki(), 0.5); // mcf misses a lot
+    EXPECT_GT(plant.lastEnergyJoules(), 0.0);
+}
+
+TEST(SimPlant, AccountingAccumulates)
+{
+    KnobSpace knobs(false);
+    SimPlant plant(Spec2006Suite::byName("povray"), knobs);
+    const double e0 = plant.totalEnergyJoules();
+    for (int i = 0; i < 10; ++i)
+        plant.step(KnobSettings{});
+    EXPECT_GT(plant.totalEnergyJoules(), e0);
+    EXPECT_NEAR(plant.elapsedSeconds(), 10 * 50e-6, 1e-12);
+    EXPECT_GT(plant.totalInstructionsB(), 0.0);
+}
+
+TEST(SimPlant, DeterministicForSameSalt)
+{
+    KnobSpace knobs(false);
+    SimPlant a(Spec2006Suite::byName("astar"), knobs, {}, 3);
+    SimPlant b(Spec2006Suite::byName("astar"), knobs, {}, 3);
+    for (int i = 0; i < 5; ++i) {
+        const Matrix ya = a.step(KnobSettings{});
+        const Matrix yb = b.step(KnobSettings{});
+        EXPECT_DOUBLE_EQ(ya[0], yb[0]);
+        EXPECT_DOUBLE_EQ(ya[1], yb[1]);
+    }
+}
+
+TEST(SimPlant, SaltChangesTheRun)
+{
+    KnobSpace knobs(false);
+    SimPlant a(Spec2006Suite::byName("astar"), knobs, {}, 0);
+    SimPlant b(Spec2006Suite::byName("astar"), knobs, {}, 99);
+    a.warmup(50);
+    b.warmup(50);
+    const Matrix ya = a.step(KnobSettings{});
+    const Matrix yb = b.step(KnobSettings{});
+    EXPECT_NE(ya[0], yb[0]);
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * QoE/battery model tests: charge accounting, the target schedule shape
+ * (monotone non-increasing as the battery drains), update cadence, and
+ * floors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/qoe.hpp"
+
+namespace mimoarch {
+namespace {
+
+QoeBatteryConfig
+smallBattery()
+{
+    QoeBatteryConfig cfg;
+    cfg.initialEnergyJoules = 0.1;
+    cfg.updatePeriodEpochs = 100;
+    cfg.initialIps = 2.0;
+    cfg.initialPower = 2.0;
+    return cfg;
+}
+
+TEST(Qoe, StartsAtFullTargets)
+{
+    QoeBatteryModel bat(smallBattery());
+    EXPECT_DOUBLE_EQ(bat.targets().ips, 2.0);
+    EXPECT_DOUBLE_EQ(bat.targets().power, 2.0);
+    EXPECT_DOUBLE_EQ(bat.chargeFraction(), 1.0);
+}
+
+TEST(Qoe, ChargeDrainsWithEnergy)
+{
+    QoeBatteryModel bat(smallBattery());
+    for (int i = 0; i < 50; ++i)
+        bat.consumeEpoch(1e-3);
+    EXPECT_NEAR(bat.chargeFraction(), 0.5, 1e-9);
+    EXPECT_FALSE(bat.depleted());
+}
+
+TEST(Qoe, TargetsChangeOnlyOnThePeriod)
+{
+    QoeBatteryModel bat(smallBattery());
+    for (int i = 0; i < 99; ++i)
+        EXPECT_FALSE(bat.consumeEpoch(2e-4));
+    EXPECT_TRUE(bat.consumeEpoch(2e-4)); // epoch 100
+}
+
+TEST(Qoe, TargetsFallMonotonicallyAsBatteryDrains)
+{
+    QoeBatteryModel bat(smallBattery());
+    double last_ips = 2.0, last_power = 2.0;
+    for (int period = 0; period < 8; ++period) {
+        for (int i = 0; i < 100; ++i)
+            bat.consumeEpoch(1.2e-4);
+        const Targets t = bat.targets();
+        EXPECT_LE(t.ips, last_ips + 1e-12);
+        EXPECT_LE(t.power, last_power + 1e-12);
+        last_ips = t.ips;
+        last_power = t.power;
+    }
+    EXPECT_LT(last_ips, 2.0);
+}
+
+TEST(Qoe, FloorsAreRespected)
+{
+    QoeBatteryModel bat(smallBattery());
+    // Drain the battery completely.
+    for (int i = 0; i < 1000; ++i)
+        bat.consumeEpoch(1e-3);
+    EXPECT_TRUE(bat.depleted());
+    const Targets t = bat.targets();
+    EXPECT_NEAR(t.ips, 2.0 * smallBattery().minIpsFraction, 1e-9);
+    EXPECT_NEAR(t.power, 2.0 * smallBattery().minPowerFraction, 1e-9);
+}
+
+TEST(Qoe, PaperScheduleParameters)
+{
+    // §VII-B2: 2,000-epoch updates, 1 J total.
+    QoeBatteryConfig cfg;
+    QoeBatteryModel bat(cfg);
+    EXPECT_DOUBLE_EQ(cfg.initialEnergyJoules, 1.0);
+    EXPECT_EQ(cfg.updatePeriodEpochs, 2000u);
+    int changes = 0;
+    for (int i = 0; i < 10000; ++i)
+        changes += bat.consumeEpoch(1e-4) ? 1 : 0;
+    EXPECT_GE(changes, 4);
+}
+
+TEST(Qoe, NegativeEnergyIsFatal)
+{
+    QoeBatteryModel bat(smallBattery());
+    EXPECT_EXIT(bat.consumeEpoch(-1.0), testing::ExitedWithCode(1),
+                "negative");
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Weight advisor tests: Table II rank ordering, the setting-count
+ * correction, scale normalization, and validation — plus a check that
+ * the suggested weights reproduce Table III's relative structure for
+ * the paper's own knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/weight_advisor.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(WeightAdvisor, OutputRanksFollowTableII)
+{
+    EXPECT_GT(WeightAdvisor::outputRank(OutputKind::CorrectnessCritical),
+              WeightAdvisor::outputRank(OutputKind::Budget));
+    EXPECT_GT(WeightAdvisor::outputRank(OutputKind::Budget),
+              WeightAdvisor::outputRank(OutputKind::Performance));
+}
+
+TEST(WeightAdvisor, InputRanksFollowTableII)
+{
+    EXPECT_GT(WeightAdvisor::inputRank(InputKind::PowerGating),
+              WeightAdvisor::inputRank(InputKind::Frequency));
+    EXPECT_GT(WeightAdvisor::inputRank(InputKind::Frequency),
+              WeightAdvisor::inputRank(InputKind::Pipeline));
+}
+
+TEST(WeightAdvisor, BudgetOutputOutweighsPerformance)
+{
+    WeightAdvisor advisor;
+    const LqgWeights w = advisor.suggest(
+        {{"ips", OutputKind::Performance}, {"power", OutputKind::Budget}},
+        {{"freq", InputKind::Frequency, 16},
+         {"cache", InputKind::PowerGating, 4}});
+    EXPECT_GT(w.outputWeights[1], w.outputWeights[0]);
+    EXPECT_DOUBLE_EQ(w.outputWeights[1] / w.outputWeights[0], 10.0);
+}
+
+TEST(WeightAdvisor, SettingCountRaisesInputWeight)
+{
+    // Two identical actuators except for the number of settings: the
+    // one with more settings is weighted higher (§IV-B2: use small
+    // steps over a large range).
+    WeightAdvisor advisor;
+    const LqgWeights w = advisor.suggest(
+        {{"y", OutputKind::Performance}},
+        {{"few", InputKind::Pipeline, 4},
+         {"many", InputKind::Pipeline, 16}});
+    EXPECT_GT(w.inputWeights[1], w.inputWeights[0]);
+    EXPECT_DOUBLE_EQ(w.inputWeights[1] / w.inputWeights[0], 4.0);
+}
+
+TEST(WeightAdvisor, PaperKnobStructureRecovered)
+{
+    // The paper's setup: power is a budget output, IPS a performance
+    // output; frequency (16 settings) and cache gating (4 settings).
+    WeightAdvisor advisor;
+    const LqgWeights w = advisor.suggest(
+        {{"ips", OutputKind::Performance}, {"power", OutputKind::Budget}},
+        {{"freq", InputKind::Frequency, 16},
+         {"cache", InputKind::PowerGating, 4}});
+    // Frequency: rank 1 with 16 settings -> 10 * 4; cache: rank 2 with
+    // 4 settings -> 100 * 1. Cache remains heavier per step, frequency
+    // is within an order of magnitude (Table III's 20:1 freq:cache in
+    // *physical* units reflects the same balance).
+    EXPECT_GT(w.inputWeights[1], w.inputWeights[0]);
+    EXPECT_LT(w.inputWeights[1] / w.inputWeights[0], 5.0);
+}
+
+TEST(WeightAdvisor, NormalizationAnchorsTheRatio)
+{
+    const double ratio = 500.0;
+    WeightAdvisor advisor(10.0, ratio);
+    const LqgWeights w = advisor.suggest(
+        {{"y", OutputKind::Performance}},
+        {{"u", InputKind::PowerGating, 4}});
+    // Single input at max weight: output weight 1, input = 1/ratio.
+    EXPECT_DOUBLE_EQ(w.outputWeights[0], 1.0);
+    EXPECT_NEAR(w.inputWeights[0], 1.0 / ratio, 1e-12);
+}
+
+TEST(WeightAdvisor, SuggestedWeightsYieldAStableDesign)
+{
+    // The suggested weights must produce a solvable LQG design on a
+    // representative model.
+    StateSpaceModel m;
+    m.a = Matrix{{0.6, 0.1}, {0.0, 0.5}};
+    m.b = Matrix{{0.5, 0.2}, {0.2, 0.5}};
+    m.c = Matrix::identity(2);
+    m.d = Matrix(2, 2);
+    m.qn = Matrix::identity(2) * 1e-4;
+    m.rn = Matrix::identity(2) * 1e-3;
+    m.inputScaling = SignalScaling::identity(2);
+    m.outputScaling = SignalScaling::identity(2);
+
+    WeightAdvisor advisor;
+    const LqgWeights w = advisor.suggest(
+        {{"ips", OutputKind::Performance}, {"power", OutputKind::Budget}},
+        {{"freq", InputKind::Frequency, 16},
+         {"cache", InputKind::PowerGating, 4}});
+    InputLimits lim;
+    lim.lo = {-10, -10};
+    lim.hi = {10, 10};
+    LqgServoController ctrl(m, w, lim); // fatal()s if not solvable
+    EXPECT_LT(ctrl.design().dareResidual, 1e-6);
+}
+
+TEST(WeightAdvisor, MoreOutputsThanInputsRejected)
+{
+    WeightAdvisor advisor;
+    EXPECT_EXIT(advisor.suggest({{"a", OutputKind::Budget},
+                                 {"b", OutputKind::Performance}},
+                                {{"u", InputKind::Frequency, 4}}),
+                testing::ExitedWithCode(1), "MIMO");
+}
+
+TEST(WeightAdvisor, InvalidConfigRejected)
+{
+    EXPECT_EXIT(WeightAdvisor(0.5, 100.0), testing::ExitedWithCode(1),
+                "rank step");
+    WeightAdvisor advisor;
+    EXPECT_EXIT(advisor.suggest({}, {{"u", InputKind::Frequency, 4}}),
+                testing::ExitedWithCode(1), "at least one");
+    EXPECT_EXIT(advisor.suggest({{"y", OutputKind::Budget}},
+                                {{"u", InputKind::Frequency, 1}}),
+                testing::ExitedWithCode(1), "settings");
+}
+
+} // namespace
+} // namespace mimoarch

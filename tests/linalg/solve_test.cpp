@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for LU decomposition, linear solves, inversion, and determinants —
+ * including the complex-scalar instantiation used by frequency response.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/solve.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(Lu, SolvesSmallSystem)
+{
+    Matrix a{{4, 3}, {6, 3}};
+    Matrix b = Matrix::vector({10.0, 12.0});
+    Matrix x = solve(a, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SolveMatchesMultiplication)
+{
+    Matrix a{{2, 1, 1}, {1, 3, 2}, {1, 0, 0.5}};
+    Matrix x_true = Matrix::vector({1.0, -2.0, 3.0});
+    Matrix b = a * x_true;
+    EXPECT_TRUE(approxEqual(solve(a, b), x_true, 1e-10));
+}
+
+TEST(Lu, MultiRhsSolve)
+{
+    Matrix a{{3, 1}, {1, 2}};
+    Matrix b{{9, 1}, {8, 2}};
+    Matrix x = solve(a, b);
+    EXPECT_TRUE(approxEqual(a * x, b, 1e-12));
+}
+
+TEST(Lu, InverseRoundTrip)
+{
+    Matrix a{{1, 2, 0}, {0, 1, 3}, {4, 0, 1}};
+    Matrix ai = inverse(a);
+    EXPECT_TRUE(approxEqual(a * ai, Matrix::identity(3), 1e-12));
+    EXPECT_TRUE(approxEqual(ai * a, Matrix::identity(3), 1e-12));
+}
+
+TEST(Lu, DeterminantKnownValues)
+{
+    EXPECT_NEAR(determinant(Matrix{{1, 2}, {3, 4}}), -2.0, 1e-12);
+    EXPECT_NEAR(determinant(Matrix::identity(4)), 1.0, 1e-12);
+    // Permutation parity: swapping two rows flips the sign.
+    EXPECT_NEAR(determinant(Matrix{{0, 1}, {1, 0}}), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixDetected)
+{
+    Matrix a{{1, 2}, {2, 4}};
+    LuDecomposition<double> lu(a);
+    EXPECT_FALSE(lu.ok());
+    EXPECT_EQ(determinant(a), 0.0);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry)
+{
+    Matrix a{{0, 1}, {1, 0}};
+    Matrix b = Matrix::vector({2.0, 3.0});
+    Matrix x = solve(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, IllConditionedStillAccurate)
+{
+    // Hilbert-like 4x4; partial pivoting should keep errors moderate.
+    Matrix a(4, 4);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            a(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    Matrix x_true = Matrix::vector({1.0, 1.0, 1.0, 1.0});
+    Matrix x = solve(a, a * x_true);
+    EXPECT_TRUE(approxEqual(x, x_true, 1e-8));
+}
+
+TEST(LuComplex, SolvesComplexSystem)
+{
+    using C = std::complex<double>;
+    CMatrix a(2, 2);
+    a(0, 0) = C(1, 1);
+    a(0, 1) = C(0, -1);
+    a(1, 0) = C(2, 0);
+    a(1, 1) = C(1, 1);
+    CMatrix x_true(2, 1);
+    x_true(0, 0) = C(1, -1);
+    x_true(1, 0) = C(0, 2);
+    CMatrix b = a * x_true;
+    CMatrix x = solve(a, b);
+    EXPECT_NEAR(std::abs(x(0, 0) - x_true(0, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(x(1, 0) - x_true(1, 0)), 0.0, 1e-12);
+}
+
+TEST(LuComplex, ResolventComputation)
+{
+    // (zI - A)^-1 at z = e^{i w} for a stable A must exist.
+    Matrix a{{0.5, 0.1}, {0.0, 0.3}};
+    const std::complex<double> z = std::polar(1.0, 0.7);
+    CMatrix zi_a = toComplex(Matrix::identity(2)) * z - toComplex(a);
+    CMatrix res = inverse(zi_a);
+    CMatrix check = zi_a * res;
+    EXPECT_NEAR(std::abs(check(0, 0) - 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(check(0, 1)), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace mimoarch

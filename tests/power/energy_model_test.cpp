@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Power model tests: voltage scaling laws, structure-size scaling of
+ * dynamic and leakage power, and bookkeeping identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace mimoarch {
+namespace {
+
+CoreCounters
+sampleCounters()
+{
+    CoreCounters c;
+    c.cycles = 2000;
+    c.committed = 3000;
+    c.fetched = 3500;
+    c.dispatched = 3200;
+    c.issued = 3100;
+    c.issuedByClass[static_cast<size_t>(OpClass::IntAlu)] = 1500;
+    c.issuedByClass[static_cast<size_t>(OpClass::Load)] = 800;
+    c.issuedByClass[static_cast<size_t>(OpClass::Store)] = 300;
+    c.issuedByClass[static_cast<size_t>(OpClass::Branch)] = 400;
+    c.issuedByClass[static_cast<size_t>(OpClass::FpMul)] = 100;
+    c.l1dAccesses = 1100;
+    c.l1dMisses = 60;
+    c.l1iAccesses = 1200;
+    c.l2Accesses = 70;
+    c.l2Misses = 20;
+    c.memAccesses = 20;
+    c.cacheWritebacks = 10;
+    return c;
+}
+
+PowerEpochContext
+ctxAt(double freq, double voltage)
+{
+    PowerEpochContext ctx;
+    ctx.timeSeconds = 2000.0 / (freq * 1e9);
+    ctx.freqGhz = freq;
+    ctx.voltage = voltage;
+    return ctx;
+}
+
+TEST(EnergyModel, TotalIsDynamicPlusLeakage)
+{
+    PowerCalculator pc;
+    const PowerResult r = pc.epochPower(sampleCounters(), ctxAt(1.3, 1.06));
+    EXPECT_NEAR(r.totalWatts, r.dynamicWatts + r.leakageWatts, 1e-12);
+    EXPECT_NEAR(r.energyJoules, r.totalWatts * ctxAt(1.3, 1.06).timeSeconds,
+                1e-15);
+}
+
+TEST(EnergyModel, DynamicScalesWithVoltageSquared)
+{
+    PowerCalculator pc;
+    const CoreCounters c = sampleCounters();
+    const PowerResult lo = pc.epochPower(c, ctxAt(1.0, 1.0));
+    const PowerResult hi = pc.epochPower(c, ctxAt(1.0, 1.2));
+    EXPECT_NEAR(hi.dynamicWatts / lo.dynamicWatts, 1.44, 1e-9);
+}
+
+TEST(EnergyModel, LeakageScalesLinearlyWithVoltage)
+{
+    PowerCalculator pc;
+    const CoreCounters c = sampleCounters();
+    const PowerResult lo = pc.epochPower(c, ctxAt(1.0, 1.0));
+    const PowerResult hi = pc.epochPower(c, ctxAt(1.0, 1.2));
+    EXPECT_NEAR(hi.leakageWatts / lo.leakageWatts, 1.2, 1e-9);
+}
+
+TEST(EnergyModel, SameActivityAtHigherFrequencyIsMorePower)
+{
+    // The same counters over a shorter wall-clock time = higher power.
+    PowerCalculator pc;
+    const CoreCounters c = sampleCounters();
+    const PowerResult slow = pc.epochPower(c, ctxAt(1.0, 1.0));
+    const PowerResult fast = pc.epochPower(c, ctxAt(2.0, 1.0));
+    EXPECT_NEAR(fast.dynamicWatts / slow.dynamicWatts, 2.0, 1e-9);
+}
+
+TEST(EnergyModel, GatedStructuresLeakLess)
+{
+    PowerCalculator pc;
+    const CoreCounters c = sampleCounters();
+    PowerEpochContext full = ctxAt(1.0, 1.0);
+    PowerEpochContext gated = full;
+    gated.robActive = 16;
+    gated.l1dWaysOn = 1;
+    gated.l2WaysOn = 2;
+    const PowerResult rf = pc.epochPower(c, full);
+    const PowerResult rg = pc.epochPower(c, gated);
+    EXPECT_LT(rg.leakageWatts, rf.leakageWatts);
+    // Accesses to smaller arrays are cheaper too.
+    EXPECT_LT(rg.dynamicWatts, rf.dynamicWatts);
+}
+
+TEST(EnergyModel, MemoryAccessesDominateWhenThrashing)
+{
+    PowerCalculator pc;
+    CoreCounters quiet = sampleCounters();
+    CoreCounters thrash = quiet;
+    thrash.memAccesses = 500;
+    thrash.l2Accesses = 600;
+    thrash.l2Misses = 500;
+    const PowerEpochContext ctx = ctxAt(1.0, 1.0);
+    EXPECT_GT(pc.epochPower(thrash, ctx).dynamicWatts,
+              1.3 * pc.epochPower(quiet, ctx).dynamicWatts);
+}
+
+TEST(EnergyModel, ExtraEnergyCharged)
+{
+    PowerCalculator pc;
+    const CoreCounters c = sampleCounters();
+    PowerEpochContext ctx = ctxAt(1.0, 1.0);
+    const double base = pc.epochPower(c, ctx).dynamicWatts;
+    ctx.extraNj = 1000.0;
+    const double with_extra = pc.epochPower(c, ctx).dynamicWatts;
+    EXPECT_NEAR(with_extra - base, 1000e-9 / ctx.timeSeconds, 1e-9);
+}
+
+TEST(EnergyModel, IdleStillBurnsClockAndLeakage)
+{
+    PowerCalculator pc;
+    CoreCounters idle;
+    idle.cycles = 2000;
+    const PowerResult r = pc.epochPower(idle, ctxAt(1.0, 1.0));
+    EXPECT_GT(r.dynamicWatts, 0.0); // clock tree
+    EXPECT_GT(r.leakageWatts, 0.3);
+}
+
+TEST(EnergyModel, ZeroDurationIsFatal)
+{
+    PowerCalculator pc;
+    PowerEpochContext ctx;
+    ctx.timeSeconds = 0.0;
+    EXPECT_EXIT(pc.epochPower(CoreCounters{}, ctx),
+                testing::ExitedWithCode(1), "positive");
+}
+
+TEST(EnergyModel, A15ScaleBallpark)
+{
+    // At ~1.3 GHz with a realistic activity profile the model should
+    // produce on the order of 1-3 W (the paper targets 2 W).
+    PowerCalculator pc;
+    const PowerResult r = pc.epochPower(sampleCounters(), ctxAt(1.3, 1.06));
+    EXPECT_GT(r.totalWatts, 0.7);
+    EXPECT_LT(r.totalWatts, 4.0);
+}
+
+} // namespace
+} // namespace mimoarch

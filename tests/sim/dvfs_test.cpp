@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DVFS table tests: the 16 Table III operating points, A15-style
+ * voltage interpolation, transition accounting, and level lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dvfs.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(Dvfs, SixteenLevelsCoverHalfToTwoGhz)
+{
+    EXPECT_DOUBLE_EQ(DvfsController::freqAtLevel(0), 0.5);
+    EXPECT_DOUBLE_EQ(DvfsController::freqAtLevel(15), 2.0);
+    for (unsigned l = 0; l + 1 < DvfsController::kNumLevels; ++l) {
+        EXPECT_NEAR(DvfsController::freqAtLevel(l + 1) -
+                        DvfsController::freqAtLevel(l),
+                    0.1, 1e-12);
+    }
+}
+
+TEST(Dvfs, VoltageMonotoneIncreasing)
+{
+    for (unsigned l = 0; l + 1 < DvfsController::kNumLevels; ++l) {
+        EXPECT_LT(DvfsController::voltageAtLevel(l),
+                  DvfsController::voltageAtLevel(l + 1));
+    }
+    EXPECT_NEAR(DvfsController::voltageAtLevel(0), 0.90, 1e-9);
+    EXPECT_NEAR(DvfsController::voltageAtLevel(15), 1.25, 1e-9);
+}
+
+TEST(Dvfs, LevelForFreqRoundsAndClamps)
+{
+    EXPECT_EQ(DvfsController::levelForFreq(1.3), 8u);
+    EXPECT_EQ(DvfsController::levelForFreq(1.34), 8u);
+    EXPECT_EQ(DvfsController::levelForFreq(1.36), 9u);
+    EXPECT_EQ(DvfsController::levelForFreq(0.1), 0u);
+    EXPECT_EQ(DvfsController::levelForFreq(9.9), 15u);
+}
+
+TEST(Dvfs, TransitionChargesLatencyOnce)
+{
+    DvfsController d(5.0);
+    EXPECT_DOUBLE_EQ(d.setLevel(d.level()), 0.0); // no-op
+    EXPECT_DOUBLE_EQ(d.setLevel(12), 5.0);
+    EXPECT_DOUBLE_EQ(d.setLevel(12), 0.0);
+    EXPECT_EQ(d.transitions(), 1u);
+    EXPECT_DOUBLE_EQ(d.freqGhz(), 1.7);
+}
+
+TEST(Dvfs, DefaultLevelIsBaseline)
+{
+    DvfsController d;
+    EXPECT_DOUBLE_EQ(d.freqGhz(), 1.3); // Table III E x D baseline
+}
+
+TEST(Dvfs, OutOfRangeLevelIsFatal)
+{
+    DvfsController d;
+    EXPECT_EXIT(d.setLevel(16), testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(DvfsController::freqAtLevel(99), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Memory hierarchy tests: latency composition, frequency scaling of
+ * L2/memory latencies, lockstep way gating, and effective capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memhier.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(MemHier, L1HitLatency)
+{
+    MemoryHierarchy mh;
+    mh.accessData(0x1000, false, 1.3);              // cold fill
+    const MemAccessResult r = mh.accessData(0x1000, false, 1.3);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latencyCycles, 3u);
+}
+
+TEST(MemHier, MissLatenciesAtBaselineFrequency)
+{
+    MemoryHierarchy mh;
+    // Cold access goes to memory: L1 + L2 + mem latency. At 1.3 GHz the
+    // Table III numbers (18 and 125 cycles) must be recovered.
+    const MemAccessResult r = mh.accessData(0x2000, false, 1.3);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_FALSE(r.l2Hit);
+    EXPECT_EQ(r.latencyCycles, 3u + 18u + 125u);
+}
+
+TEST(MemHier, L2HitAfterL1Eviction)
+{
+    MemoryHierarchy mh;
+    mh.accessData(0x3000, false, 1.3);
+    // Evict from L1 (4KB stride x many fills in the same L1 set, but
+    // different L2 sets keep the line in L2).
+    for (int i = 1; i <= 7; ++i)
+        mh.accessData(0x3000 + static_cast<uint64_t>(i) * 32 * 1024,
+                      false, 1.3);
+    const MemAccessResult r = mh.accessData(0x3000, false, 1.3);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_EQ(r.latencyCycles, 3u + 18u);
+}
+
+TEST(MemHier, MemoryLatencyScalesWithFrequency)
+{
+    MemoryHierarchy mh;
+    const MemAccessResult slow = mh.accessData(0x9000, false, 0.5);
+    MemoryHierarchy mh2;
+    const MemAccessResult fast = mh2.accessData(0x9000, false, 2.0);
+    // Same wall-clock memory time costs ~4x more cycles at 4x frequency.
+    EXPECT_GT(fast.latencyCycles, 3 * slow.latencyCycles);
+}
+
+TEST(MemHier, InstrAccessUsesL1i)
+{
+    MemoryHierarchy mh;
+    mh.accessInstr(0x400000, 1.3);
+    const MemAccessResult r = mh.accessInstr(0x400000, 1.3);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latencyCycles, 2u);
+    EXPECT_EQ(mh.l1i().stats().accesses, 2u);
+    EXPECT_EQ(mh.l1d().stats().accesses, 0u);
+}
+
+TEST(MemHier, CacheSizeSettingsMatchPaperTable)
+{
+    MemoryHierarchy mh;
+    // Setting 3 (full): L2 8 ways, L1D 4 ways -> 256 + 32 = 288 KB.
+    EXPECT_EQ(mh.cacheSizeSetting(), 3u);
+    EXPECT_DOUBLE_EQ(mh.effectiveCacheKb(), 288.0);
+    mh.setCacheSizeSetting(2); // (6,3) -> 192 + 24 = 216 KB
+    EXPECT_DOUBLE_EQ(mh.effectiveCacheKb(), 216.0);
+    mh.setCacheSizeSetting(1); // (4,2) -> 128 + 16 = 144 KB
+    EXPECT_DOUBLE_EQ(mh.effectiveCacheKb(), 144.0);
+    mh.setCacheSizeSetting(0); // (2,1) -> 64 + 8 = 72 KB
+    EXPECT_DOUBLE_EQ(mh.effectiveCacheKb(), 72.0);
+    EXPECT_EQ(mh.l2().enabledWays(), 2u);
+    EXPECT_EQ(mh.l1d().enabledWays(), 1u);
+}
+
+TEST(MemHier, GatingReturnsDirtyCount)
+{
+    MemoryHierarchy mh;
+    // Dirty a bunch of L1D lines spread over ways.
+    for (uint64_t a = 0; a < 32 * 1024; a += 64)
+        mh.accessData(a, true, 1.3);
+    const uint64_t dirty = mh.setCacheSizeSetting(0);
+    EXPECT_GT(dirty, 0u);
+}
+
+TEST(MemHier, SmallerCacheMissesMore)
+{
+    // A 160KB working set fits at full size (288KB) but not at 72KB.
+    const auto run = [](unsigned setting) {
+        MemoryHierarchy mh;
+        mh.setCacheSizeSetting(setting);
+        uint64_t misses = 0;
+        for (int pass = 0; pass < 6; ++pass) {
+            for (uint64_t a = 0; a < 160 * 1024; a += 64) {
+                const MemAccessResult r = mh.accessData(a, false, 1.3);
+                if (!r.l1Hit && !r.l2Hit)
+                    ++misses;
+            }
+        }
+        return misses;
+    };
+    EXPECT_GT(run(0), 2 * run(3));
+}
+
+TEST(MemHier, ResetPreservesSetting)
+{
+    MemoryHierarchy mh;
+    mh.setCacheSizeSetting(1);
+    mh.accessData(0x1234, true, 1.0);
+    mh.reset();
+    EXPECT_EQ(mh.cacheSizeSetting(), 1u);
+    EXPECT_EQ(mh.l1d().stats().accesses, 0u);
+    EXPECT_EQ(mh.l2().enabledWays(), 4u);
+}
+
+TEST(MemHier, InvalidSettingIsFatal)
+{
+    MemoryHierarchy mh;
+    EXPECT_EXIT(mh.setCacheSizeSetting(4), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Parameterized sweep over the knob grid: for a representative
+ * application, every (frequency, cache) configuration must produce a
+ * sane, internally consistent epoch readout — the invariants the
+ * controller relies on across the whole actuation space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/processor.hpp"
+#include "workload/spec_suite.hpp"
+#include "workload/synthetic_stream.hpp"
+
+namespace mimoarch {
+namespace {
+
+struct GridPoint
+{
+    unsigned freqLevel;
+    unsigned cacheSetting;
+    unsigned robSize;
+};
+
+class KnobGrid : public ::testing::TestWithParam<GridPoint>
+{};
+
+TEST_P(KnobGrid, EpochReadoutInvariants)
+{
+    const GridPoint gp = GetParam();
+    SyntheticStream stream(Spec2006Suite::byName("sphinx3"));
+    Processor proc(ProcessorConfig{}, &stream);
+    proc.setFrequencyLevel(gp.freqLevel);
+    proc.setCacheSizeSetting(gp.cacheSetting);
+    proc.setRobSize(gp.robSize);
+    for (int i = 0; i < 80; ++i) {
+        proc.runEpoch();
+        stream.nextEpoch();
+    }
+    double ips = 0, power = 0;
+    for (int i = 0; i < 15; ++i) {
+        const EpochOutputs o = proc.runEpoch();
+        stream.nextEpoch();
+        ips += o.ips;
+        power += o.powerWatts;
+        // Per-epoch invariants.
+        EXPECT_GE(o.ipc, 0.0);
+        EXPECT_LE(o.ipc, 3.0); // issue width bound
+        EXPECT_GE(o.utilization, 0.0);
+        EXPECT_LE(o.utilization, 1.0);
+        EXPECT_GE(o.l2Mpki, 0.0);
+        EXPECT_GE(o.stallFraction, 0.0);
+        EXPECT_LE(o.stallFraction, 1.0);
+    }
+    ips /= 15;
+    power /= 15;
+    // IPS cannot exceed width * frequency.
+    const double f = DvfsController::freqAtLevel(gp.freqLevel);
+    EXPECT_GT(ips, 0.0);
+    EXPECT_LT(ips, 3.0 * f + 0.01);
+    // Power stays within the physical envelope of this model.
+    EXPECT_GT(power, 0.3);
+    EXPECT_LT(power, 4.0);
+}
+
+std::vector<GridPoint>
+gridPoints()
+{
+    std::vector<GridPoint> pts;
+    for (unsigned f : {0u, 5u, 10u, 15u})
+        for (unsigned c : {0u, 1u, 2u, 3u})
+            pts.push_back({f, c, 128});
+    // A few reduced-ROB points.
+    pts.push_back({8, 2, 16});
+    pts.push_back({8, 2, 48});
+    pts.push_back({15, 3, 32});
+    return pts;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, KnobGrid,
+                         ::testing::ValuesIn(gridPoints()));
+
+/** Frequency monotonicity of power across the full sweep. */
+class FreqSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FreqSweep, PowerIncreasesWithTheNextLevel)
+{
+    const unsigned level = GetParam();
+    const auto power_at = [](unsigned l) {
+        SyntheticStream stream(Spec2006Suite::byName("gromacs"));
+        Processor proc(ProcessorConfig{}, &stream);
+        proc.setFrequencyLevel(l);
+        for (int i = 0; i < 100; ++i) {
+            proc.runEpoch();
+            stream.nextEpoch();
+        }
+        double p = 0;
+        for (int i = 0; i < 20; ++i) {
+            p += proc.runEpoch().powerWatts;
+            stream.nextEpoch();
+        }
+        return p / 20;
+    };
+    // Allow a little noise; the trend must hold across 3 levels.
+    EXPECT_LT(power_at(level), power_at(level + 3) * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, FreqSweep,
+                         ::testing::Values(0, 3, 6, 9, 12));
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Processor-level tests: epoch readout sanity, knob monotonicity (the
+ * response surface the controller relies on), actuation overheads, and
+ * cumulative accounting. These are the calibration checks for the
+ * ESESC-substitute (see DESIGN.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/processor.hpp"
+#include "workload/spec_suite.hpp"
+#include "workload/synthetic_stream.hpp"
+
+namespace mimoarch {
+namespace {
+
+/** Run a few epochs and average (ips, power). */
+std::pair<double, double>
+steadyOutputs(Processor &proc, SyntheticStream &stream,
+              int warmup = 150, int measure = 20)
+{
+    for (int i = 0; i < warmup; ++i) {
+        proc.runEpoch();
+        stream.nextEpoch();
+    }
+    double ips = 0, pw = 0;
+    for (int i = 0; i < measure; ++i) {
+        const EpochOutputs o = proc.runEpoch();
+        stream.nextEpoch();
+        ips += o.ips;
+        pw += o.powerWatts;
+    }
+    return {ips / measure, pw / measure};
+}
+
+TEST(Processor, EpochReadoutInSaneRange)
+{
+    SyntheticStream stream(Spec2006Suite::byName("namd"));
+    Processor proc(ProcessorConfig{}, &stream);
+    const auto [ips, power] = steadyOutputs(proc, stream);
+    EXPECT_GT(ips, 0.3);
+    EXPECT_LT(ips, 6.0);
+    EXPECT_GT(power, 0.4);
+    EXPECT_LT(power, 6.0);
+}
+
+TEST(Processor, IpsIncreasesWithFrequencyForComputeBound)
+{
+    const auto at_level = [](unsigned level) {
+        SyntheticStream stream(Spec2006Suite::byName("gamess"));
+        Processor proc(ProcessorConfig{}, &stream);
+        proc.setFrequencyLevel(level);
+        return steadyOutputs(proc, stream).first;
+    };
+    const double lo = at_level(0), mid = at_level(8), hi = at_level(15);
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+    // Compute-bound code scales nearly linearly with frequency.
+    EXPECT_GT(hi / lo, 2.5);
+}
+
+TEST(Processor, PowerIncreasesWithFrequency)
+{
+    const auto at_level = [](unsigned level) {
+        SyntheticStream stream(Spec2006Suite::byName("gamess"));
+        Processor proc(ProcessorConfig{}, &stream);
+        proc.setFrequencyLevel(level);
+        return steadyOutputs(proc, stream).second;
+    };
+    const double lo = at_level(0), hi = at_level(15);
+    // P ~ C V^2 f: superlinear in f along the DVFS curve.
+    EXPECT_GT(hi / lo, 3.0);
+}
+
+TEST(Processor, MemoryBoundAppInsensitiveToFrequency)
+{
+    const auto at_level = [](unsigned level) {
+        SyntheticStream stream(Spec2006Suite::byName("mcf"));
+        Processor proc(ProcessorConfig{}, &stream);
+        proc.setFrequencyLevel(level);
+        return steadyOutputs(proc, stream).first;
+    };
+    const double lo = at_level(0), hi = at_level(15);
+    // mcf is dominated by memory time: 4x frequency gives far less
+    // than 4x IPS.
+    EXPECT_LT(hi / lo, 2.5);
+    EXPECT_GT(hi / lo, 0.9);
+}
+
+TEST(Processor, CacheSensitiveAppGainsFromBiggerCache)
+{
+    // dealII's 200KB hot set fits at setting 3 (288KB) but thrashes at
+    // setting 0 (72KB).
+    const auto at_setting = [](unsigned setting) {
+        SyntheticStream stream(Spec2006Suite::byName("dealII"));
+        ProcessorConfig cfg;
+        cfg.sampleCycles = 4000;
+        Processor proc(cfg, &stream);
+        proc.setCacheSizeSetting(setting);
+        return steadyOutputs(proc, stream).first;
+    };
+    EXPECT_GT(at_setting(3), 1.15 * at_setting(0));
+}
+
+TEST(Processor, TinyWorkingSetInsensitiveToCache)
+{
+    // A 6KB hot set fits even in the 8KB single-way L1D, so the cache
+    // knob should barely move the IPS.
+    AppSpec tiny = Spec2006Suite::byName("namd");
+    tiny.phases[0].hotBytes = 6 * 1024;
+    const auto at_setting = [&](unsigned setting) {
+        SyntheticStream stream(tiny);
+        Processor proc(ProcessorConfig{}, &stream);
+        proc.setCacheSizeSetting(setting);
+        return steadyOutputs(proc, stream).first;
+    };
+    const double small = at_setting(0), big = at_setting(3);
+    EXPECT_NEAR(big / small, 1.0, 0.15);
+}
+
+TEST(Processor, SmallerCacheSavesLeakagePower)
+{
+    // An app that fits in L1 sees mostly the leakage saving.
+    const auto at_setting = [](unsigned setting) {
+        SyntheticStream stream(Spec2006Suite::byName("namd"));
+        Processor proc(ProcessorConfig{}, &stream);
+        proc.setCacheSizeSetting(setting);
+        return steadyOutputs(proc, stream).second;
+    };
+    EXPECT_LT(at_setting(0), at_setting(3));
+}
+
+TEST(Processor, RobSizeHelpsIlp)
+{
+    const auto at_rob = [](unsigned entries) {
+        SyntheticStream stream(Spec2006Suite::byName("milc"));
+        Processor proc(ProcessorConfig{}, &stream);
+        proc.setRobSize(entries);
+        return steadyOutputs(proc, stream).first;
+    };
+    EXPECT_GT(at_rob(128), at_rob(16));
+}
+
+TEST(Processor, DvfsTransitionStallsEpoch)
+{
+    SyntheticStream stream(Spec2006Suite::byName("namd"));
+    Processor proc(ProcessorConfig{}, &stream);
+    proc.runEpoch();
+    proc.setFrequencyLevel(15);
+    const EpochOutputs o = proc.runEpoch();
+    // 5 us of a 50 us epoch.
+    EXPECT_NEAR(o.stallFraction, 0.1, 1e-9);
+    const EpochOutputs o2 = proc.runEpoch();
+    EXPECT_DOUBLE_EQ(o2.stallFraction, 0.0);
+}
+
+TEST(Processor, CacheGatingStallsEpoch)
+{
+    SyntheticStream stream(Spec2006Suite::byName("leslie3d"));
+    Processor proc(ProcessorConfig{}, &stream);
+    // Dirty the caches first.
+    for (int i = 0; i < 10; ++i)
+        proc.runEpoch();
+    proc.setCacheSizeSetting(0);
+    const EpochOutputs o = proc.runEpoch();
+    EXPECT_GT(o.stallFraction, 0.0);
+}
+
+TEST(Processor, CumulativeAccountingAddsUp)
+{
+    SyntheticStream stream(Spec2006Suite::byName("sjeng"));
+    Processor proc(ProcessorConfig{}, &stream);
+    double energy = 0.0;
+    for (int i = 0; i < 20; ++i)
+        energy += proc.runEpoch().energyJoules;
+    EXPECT_NEAR(proc.totalEnergyJoules(), energy, 1e-12);
+    EXPECT_NEAR(proc.elapsedSeconds(), 20 * 50e-6, 1e-12);
+    EXPECT_GT(proc.totalInstructionsB(), 0.0);
+}
+
+TEST(Processor, UtilizationBounded)
+{
+    SyntheticStream stream(Spec2006Suite::byName("povray"));
+    Processor proc(ProcessorConfig{}, &stream);
+    for (int i = 0; i < 10; ++i) {
+        const EpochOutputs o = proc.runEpoch();
+        EXPECT_GE(o.utilization, 0.0);
+        EXPECT_LE(o.utilization, 1.0);
+    }
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * ARX identification tests: coefficient recovery on known systems,
+ * exactness of the state-space realization (it must reproduce the ARX
+ * recursion), noise covariance estimation, and closed-loop usefulness
+ * of an identified model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sysid/arx.hpp"
+
+namespace mimoarch {
+namespace {
+
+/** Generate a persistent random input record. */
+Matrix
+randomInput(size_t t_len, size_t n_in, Rng &rng)
+{
+    Matrix u(t_len, n_in);
+    std::vector<double> hold(n_in, 0.0);
+    for (size_t t = 0; t < t_len; ++t) {
+        for (size_t c = 0; c < n_in; ++c) {
+            if (t % 5 == 0 || rng.bernoulli(0.1))
+                hold[c] = rng.uniform(-1.0, 1.0);
+            u(t, c) = hold[c];
+        }
+    }
+    return u;
+}
+
+TEST(Arx, RecoversSisoArxCoefficients)
+{
+    // y(t) = 0.6 y(t-1) + 0.5 u(t) + 0.3 u(t-1), no noise.
+    Rng rng(21);
+    const size_t t_len = 600;
+    Matrix u = randomInput(t_len, 1, rng);
+    Matrix y(t_len, 1);
+    for (size_t t = 1; t < t_len; ++t)
+        y(t, 0) = 0.6 * y(t - 1, 0) + 0.5 * u(t, 0) + 0.3 * u(t - 1, 0);
+
+    ArxConfig cfg;
+    cfg.order = 1;
+    cfg.ridge = 1e-10;
+    const ArxModel m = fitArx(u, y, cfg);
+    // Coefficients are fit in scaled space; a-coefficients (output to
+    // output) are scale-invariant.
+    EXPECT_NEAR(m.aCoef[0](0, 0), 0.6, 1e-6);
+    // b coefficients carry the u/y scale ratio.
+    const double ratio = m.inputScaling.scale[0] / m.outputScaling.scale[0];
+    EXPECT_NEAR(m.bCoef[0](0, 0) / ratio, 0.5, 1e-5);
+    EXPECT_NEAR(m.bCoef[1](0, 0) / ratio, 0.3, 1e-5);
+    // Noise-free fit: residual covariance is tiny (not exactly zero —
+    // z-scoring drops the intercept, leaving a small constant term).
+    EXPECT_LT(m.residualCov(0, 0), 1e-5);
+}
+
+TEST(Arx, SimulateReproducesTrainingData)
+{
+    Rng rng(22);
+    const size_t t_len = 500;
+    Matrix u = randomInput(t_len, 2, rng);
+    Matrix y(t_len, 2);
+    for (size_t t = 2; t < t_len; ++t) {
+        y(t, 0) = 0.5 * y(t - 1, 0) + 0.1 * y(t - 2, 1) + 0.4 * u(t, 0) +
+            0.2 * u(t - 1, 1);
+        y(t, 1) = 0.3 * y(t - 1, 1) - 0.1 * y(t - 1, 0) + 0.5 * u(t, 1) +
+            0.1 * u(t - 2, 0);
+    }
+    ArxConfig cfg;
+    cfg.order = 2;
+    cfg.ridge = 1e-10;
+    const ArxModel m = fitArx(u, y, cfg);
+    const Matrix y_sim = m.simulate(u);
+    // After the initial transient the simulation must track closely.
+    double err = 0.0;
+    for (size_t t = 50; t < t_len; ++t)
+        err += std::abs(y_sim(t, 0) - y(t, 0)) +
+            std::abs(y_sim(t, 1) - y(t, 1));
+    EXPECT_LT(err / static_cast<double>(t_len - 50), 5e-3);
+}
+
+TEST(Arx, RealizationMatchesArxRecursionExactly)
+{
+    // The block observer realization must reproduce the ARX simulation
+    // sample for sample (this pins down the A_m/B_m algebra).
+    Rng rng(23);
+    const size_t t_len = 200;
+    Matrix u = randomInput(t_len, 2, rng);
+    Matrix y(t_len, 2);
+    for (size_t t = 2; t < t_len; ++t) {
+        y(t, 0) = 0.4 * y(t - 1, 0) + 0.2 * y(t - 2, 1) + 0.6 * u(t, 0);
+        y(t, 1) = 0.5 * y(t - 1, 1) + 0.3 * u(t, 1) + 0.2 * u(t - 1, 0);
+    }
+    ArxConfig cfg;
+    cfg.order = 2;
+    cfg.ridge = 1e-10;
+    const ArxModel arx = fitArx(u, y, cfg);
+    const StateSpaceModel ss = realize(arx);
+
+    const Matrix y_arx = arx.simulate(u);
+    const Matrix u_scaled = ss.inputScaling.toScaled(u);
+    const Matrix y_ss_scaled = ss.simulate(u_scaled,
+                                           Matrix(ss.stateDim(), 1));
+    const Matrix y_ss = ss.outputScaling.toPhysical(y_ss_scaled);
+    EXPECT_TRUE(approxEqual(y_arx, y_ss, 1e-8))
+        << "realization diverges from ARX recursion";
+}
+
+TEST(Arx, RealizationDimensionIsOrderTimesOutputs)
+{
+    Rng rng(24);
+    Matrix u = randomInput(300, 2, rng);
+    Matrix y(300, 2);
+    for (size_t t = 1; t < 300; ++t) {
+        y(t, 0) = 0.5 * y(t - 1, 0) + u(t, 0);
+        y(t, 1) = 0.4 * y(t - 1, 1) + u(t, 1);
+    }
+    for (size_t order : {1u, 2u, 3u, 4u}) {
+        ArxConfig cfg;
+        cfg.order = order;
+        const StateSpaceModel ss = identify(u, y, cfg);
+        EXPECT_EQ(ss.stateDim(), 2 * order);
+        EXPECT_EQ(ss.numInputs(), 2u);
+        EXPECT_EQ(ss.numOutputs(), 2u);
+    }
+}
+
+TEST(Arx, NoiseCovarianceEstimatedFromResiduals)
+{
+    Rng rng(25);
+    const size_t t_len = 4000;
+    Matrix u = randomInput(t_len, 1, rng);
+    Matrix y(t_len, 1);
+    const double sigma = 0.05;
+    for (size_t t = 1; t < t_len; ++t) {
+        y(t, 0) = 0.6 * y(t - 1, 0) + 0.5 * u(t, 0) +
+            rng.normal(0.0, sigma);
+    }
+    ArxConfig cfg;
+    cfg.order = 1;
+    const ArxModel m = fitArx(u, y, cfg);
+    // Residual covariance in scaled units: sigma^2 / scale_y^2.
+    const double expected =
+        sigma * sigma / (m.outputScaling.scale[0] *
+                         m.outputScaling.scale[0]);
+    EXPECT_NEAR(m.residualCov(0, 0), expected, expected * 0.2);
+    // The realization carries it into Rn and Qn.
+    const StateSpaceModel ss = realize(m);
+    EXPECT_NEAR(ss.rn(0, 0), m.residualCov(0, 0), 1e-12);
+    EXPECT_GT(ss.qn(0, 0), 0.0);
+}
+
+TEST(Arx, HigherOrderFitsUnderModeledDynamicsBetter)
+{
+    // The true system is order 3; fitting with order 1 vs 3 shows the
+    // Fig. 7 trend (more model dimensions -> lower error).
+    Rng rng(26);
+    const size_t t_len = 1500;
+    Matrix u = randomInput(t_len, 1, rng);
+    Matrix y(t_len, 1);
+    for (size_t t = 3; t < t_len; ++t) {
+        y(t, 0) = 0.4 * y(t - 1, 0) + 0.25 * y(t - 2, 0) +
+            0.15 * y(t - 3, 0) + 0.5 * u(t, 0) + 0.2 * u(t - 2, 0);
+    }
+    const auto sim_error = [&](size_t order) {
+        ArxConfig cfg;
+        cfg.order = order;
+        const ArxModel m = fitArx(u, y, cfg);
+        const Matrix y_sim = m.simulate(u);
+        double err = 0.0;
+        for (size_t t = 100; t < t_len; ++t)
+            err += std::abs(y_sim(t, 0) - y(t, 0));
+        return err;
+    };
+    EXPECT_GT(sim_error(1), 5.0 * sim_error(3));
+}
+
+TEST(Arx, ShortRecordIsFatal)
+{
+    Matrix u(10, 2);
+    Matrix y(10, 2);
+    ArxConfig cfg;
+    cfg.order = 3;
+    EXPECT_EXIT(fitArx(u, y, cfg), testing::ExitedWithCode(1),
+                "too short");
+}
+
+TEST(Arx, MismatchedRecordsAreFatal)
+{
+    EXPECT_EXIT(fitArx(Matrix(100, 1), Matrix(90, 1), ArxConfig{}),
+                testing::ExitedWithCode(1), "length");
+}
+
+} // namespace
+} // namespace mimoarch

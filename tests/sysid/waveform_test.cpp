@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Excitation waveform tests: level validity, coverage of the setting
+ * range, dwell-time structure, determinism, and validation.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sysid/waveform.hpp"
+
+namespace mimoarch {
+namespace {
+
+std::vector<InputChannelSpec>
+freqAndCacheChannels()
+{
+    // The paper's knobs: 16 frequency settings, 4 cache settings.
+    InputChannelSpec freq;
+    for (int i = 0; i < 16; ++i)
+        freq.levels.push_back(0.5 + 0.1 * i);
+    InputChannelSpec cache;
+    cache.levels = {72.0, 144.0, 216.0, 288.0};
+    return {freq, cache};
+}
+
+TEST(Waveform, ValuesAreValidLevels)
+{
+    const auto channels = freqAndCacheChannels();
+    WaveformConfig cfg;
+    cfg.lengthEpochs = 800;
+    const Matrix u = generateExcitation(channels, cfg);
+    ASSERT_EQ(u.rows(), 800u);
+    ASSERT_EQ(u.cols(), 2u);
+    for (size_t t = 0; t < u.rows(); ++t) {
+        for (size_t c = 0; c < 2; ++c) {
+            const auto &lv = channels[c].levels;
+            const bool valid = std::any_of(
+                lv.begin(), lv.end(), [&](double v) {
+                    return std::abs(v - u(t, c)) < 1e-9;
+                });
+            EXPECT_TRUE(valid) << "t=" << t << " c=" << c << " v="
+                               << u(t, c);
+        }
+    }
+}
+
+TEST(Waveform, CoversTheFullRange)
+{
+    const auto channels = freqAndCacheChannels();
+    WaveformConfig cfg;
+    cfg.lengthEpochs = 1500;
+    const Matrix u = generateExcitation(channels, cfg);
+    for (size_t c = 0; c < 2; ++c) {
+        std::set<long> seen;
+        for (size_t t = 0; t < u.rows(); ++t)
+            seen.insert(std::lround(u(t, c) * 1000));
+        // Every level of each channel should appear.
+        EXPECT_EQ(seen.size(), channels[c].levels.size()) << "ch " << c;
+    }
+}
+
+TEST(Waveform, HoldsLevelsForMultipleEpochs)
+{
+    const auto channels = freqAndCacheChannels();
+    WaveformConfig cfg;
+    cfg.lengthEpochs = 1000;
+    cfg.minHoldEpochs = 4;
+    const Matrix u = generateExcitation(channels, cfg);
+    // Count how often the value changes; with a min hold of 4 the
+    // change rate must be below 1/4.
+    size_t changes = 0;
+    for (size_t t = 1; t < u.rows(); ++t)
+        if (u(t, 0) != u(t - 1, 0))
+            ++changes;
+    EXPECT_LT(changes, u.rows() / 4);
+    EXPECT_GT(changes, 10u); // but it does change
+}
+
+TEST(Waveform, DeterministicPerSeed)
+{
+    const auto channels = freqAndCacheChannels();
+    WaveformConfig cfg;
+    cfg.lengthEpochs = 300;
+    const Matrix u1 = generateExcitation(channels, cfg);
+    const Matrix u2 = generateExcitation(channels, cfg);
+    EXPECT_TRUE(approxEqual(u1, u2));
+    cfg.seed += 1;
+    const Matrix u3 = generateExcitation(channels, cfg);
+    EXPECT_FALSE(approxEqual(u1, u3));
+}
+
+TEST(Waveform, SingleLevelChannelIsFatal)
+{
+    InputChannelSpec bad;
+    bad.levels = {1.0};
+    EXPECT_EXIT(generateExcitation({bad}, WaveformConfig{}),
+                testing::ExitedWithCode(1), "levels");
+}
+
+TEST(Waveform, BadHoldRangeIsFatal)
+{
+    WaveformConfig cfg;
+    cfg.minHoldEpochs = 10;
+    cfg.maxHoldEpochs = 5;
+    EXPECT_EXIT(generateExcitation(freqAndCacheChannels(), cfg),
+                testing::ExitedWithCode(1), "hold");
+}
+
+} // namespace
+} // namespace mimoarch

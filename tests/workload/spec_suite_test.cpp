@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Suite tests: the paper's set memberships (training, validation,
+ * responsive/non-responsive), spec well-formedness, and the behavioural
+ * separation between responsive and non-responsive apps on the
+ * simulator (the property Fig. 11 depends on).
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/processor.hpp"
+#include "workload/spec_suite.hpp"
+#include "workload/synthetic_stream.hpp"
+
+namespace mimoarch {
+namespace {
+
+std::set<std::string>
+names(const std::vector<AppSpec> &apps)
+{
+    std::set<std::string> out;
+    for (const AppSpec &a : apps)
+        out.insert(a.name);
+    return out;
+}
+
+TEST(SpecSuite, TrainingSetMatchesPaper)
+{
+    EXPECT_EQ(names(Spec2006Suite::trainingSet()),
+              (std::set<std::string>{"sjeng", "gobmk", "leslie3d",
+                                     "namd"}));
+}
+
+TEST(SpecSuite, ValidationSetMatchesPaper)
+{
+    EXPECT_EQ(names(Spec2006Suite::validationSet()),
+              (std::set<std::string>{"h264ref", "tonto"}));
+}
+
+TEST(SpecSuite, ProductionSetHas23Apps)
+{
+    EXPECT_EQ(Spec2006Suite::productionSet().size(), 23u);
+}
+
+TEST(SpecSuite, NonResponsiveListMatchesPaper)
+{
+    // Paper §VIII-D lists exactly these 14.
+    EXPECT_EQ(names(Spec2006Suite::nonResponsiveSet()),
+              (std::set<std::string>{
+                  "bzip2", "gcc", "hmmer", "h264ref", "libquantum", "mcf",
+                  "omnetpp", "perlbench", "Xalan", "bwaves", "dealII",
+                  "GemsFDTD", "lbm", "soplex"}));
+}
+
+TEST(SpecSuite, ResponsivePlusNonResponsiveIsProduction)
+{
+    EXPECT_EQ(Spec2006Suite::responsiveSet().size() +
+                  Spec2006Suite::nonResponsiveSet().size(),
+              Spec2006Suite::productionSet().size());
+}
+
+TEST(SpecSuite, AllSpecsWellFormed)
+{
+    for (const AppSpec &app : Spec2006Suite::all()) {
+        EXPECT_FALSE(app.phases.empty()) << app.name;
+        for (const PhaseSpec &p : app.phases) {
+            const double mix = p.loadFrac + p.storeFrac + p.branchFrac +
+                p.intMulFrac + p.intDivFrac + p.fpAluFrac + p.fpMulFrac +
+                p.fpDivFrac;
+            EXPECT_LT(mix, 1.0) << app.name;
+            EXPECT_GT(p.meanDepDist, 1.0) << app.name;
+            EXPECT_GT(p.hotBytes, 0u) << app.name;
+            EXPECT_GT(p.lengthEpochs, 0u) << app.name;
+        }
+    }
+}
+
+TEST(SpecSuite, NamesAreUnique)
+{
+    EXPECT_EQ(names(Spec2006Suite::all()).size(),
+              Spec2006Suite::all().size());
+}
+
+TEST(SpecSuite, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(Spec2006Suite::byName("zeusmp"),
+                testing::ExitedWithCode(1), "unknown application");
+}
+
+TEST(SpecSuite, FpAppsHaveFpOps)
+{
+    for (const AppSpec &app : Spec2006Suite::all()) {
+        const double fp = app.phases[0].fpAluFrac +
+            app.phases[0].fpMulFrac + app.phases[0].fpDivFrac;
+        if (app.category == AppCategory::Fp)
+            EXPECT_GT(fp, 0.1) << app.name;
+        else
+            EXPECT_LT(fp, 0.05) << app.name;
+    }
+}
+
+/** Max-configuration IPS for an app (short run). */
+double
+maxConfigIps(const AppSpec &app)
+{
+    SyntheticStream stream(app);
+    ProcessorConfig cfg;
+    cfg.sampleCycles = 3000;
+    Processor proc(cfg, &stream);
+    proc.setFrequencyLevel(15);
+    proc.setCacheSizeSetting(3);
+    double ips = 0;
+    const int warm = 150, meas = 20;
+    for (int i = 0; i < warm; ++i) {
+        proc.runEpoch();
+        stream.nextEpoch();
+    }
+    for (int i = 0; i < meas; ++i) {
+        ips += proc.runEpoch().ips;
+        stream.nextEpoch();
+    }
+    return ips / meas;
+}
+
+TEST(SpecSuite, ResponsiveAppsCanApproachTarget)
+{
+    for (const AppSpec &app : Spec2006Suite::responsiveSet())
+        EXPECT_GT(maxConfigIps(app), 1.9) << app.name;
+}
+
+TEST(SpecSuite, NonResponsiveAppsCannotReachTarget)
+{
+    for (const AppSpec &app : Spec2006Suite::nonResponsiveSet())
+        EXPECT_LT(maxConfigIps(app), 1.9) << app.name;
+}
+
+} // namespace
+} // namespace mimoarch

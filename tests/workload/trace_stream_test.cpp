@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Trace-stream tests: parsing every op class, comments/blank lines,
+ * looping, error handling, and running a trace through the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core.hpp"
+#include "workload/trace_stream.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(TraceStream, ParsesEveryOpClass)
+{
+    const std::string text =
+        "IA 400000\n"
+        "IM 400004 1\n"
+        "ID 400008 2 3\n"
+        "FA 40000c\n"
+        "FM 400010\n"
+        "FD 400014\n"
+        "LD 400018 dead00 1\n"
+        "ST 40001c beef40\n"
+        "BR 400020 T\n";
+    TraceStream ts = TraceStream::fromString(text);
+    EXPECT_EQ(ts.length(), 9u);
+    EXPECT_EQ(ts.next().cls, OpClass::IntAlu);
+    const MicroOp mul = ts.next();
+    EXPECT_EQ(mul.cls, OpClass::IntMul);
+    EXPECT_EQ(mul.srcDist0, 1);
+    const MicroOp divi = ts.next();
+    EXPECT_EQ(divi.srcDist0, 2);
+    EXPECT_EQ(divi.srcDist1, 3);
+    ts.next();
+    ts.next();
+    ts.next();
+    const MicroOp ld = ts.next();
+    EXPECT_EQ(ld.cls, OpClass::Load);
+    EXPECT_EQ(ld.addr, 0xdead00u);
+    EXPECT_EQ(ld.srcDist0, 1);
+    const MicroOp st = ts.next();
+    EXPECT_EQ(st.cls, OpClass::Store);
+    EXPECT_EQ(st.addr, 0xbeef40u);
+    const MicroOp br = ts.next();
+    EXPECT_EQ(br.cls, OpClass::Branch);
+    EXPECT_TRUE(br.taken);
+    EXPECT_EQ(br.pc, 0x400020u);
+}
+
+TEST(TraceStream, SkipsCommentsAndBlanks)
+{
+    const std::string text =
+        "# a comment\n"
+        "\n"
+        "IA 400000\n"
+        "   \n"
+        "# another\n"
+        "IA 400004\n";
+    TraceStream ts = TraceStream::fromString(text);
+    EXPECT_EQ(ts.length(), 2u);
+}
+
+TEST(TraceStream, LoopsForever)
+{
+    TraceStream ts = TraceStream::fromString("IA 400000\nIA 400004\n");
+    for (int i = 0; i < 7; ++i)
+        ts.next();
+    EXPECT_EQ(ts.loops(), 3u);
+    // And the 8th op is the second one again.
+    EXPECT_EQ(ts.next().pc, 0x400004u);
+}
+
+TEST(TraceStream, NotTakenBranch)
+{
+    TraceStream ts = TraceStream::fromString("BR 400020 N\n");
+    EXPECT_FALSE(ts.next().taken);
+}
+
+TEST(TraceStream, MalformedLinesAreFatal)
+{
+    EXPECT_EXIT(TraceStream::fromString("XX 400000\n"),
+                testing::ExitedWithCode(1), "unknown op class");
+    EXPECT_EXIT(TraceStream::fromString("IA\n"),
+                testing::ExitedWithCode(1), "missing pc");
+    EXPECT_EXIT(TraceStream::fromString("LD 400000\n"),
+                testing::ExitedWithCode(1), "missing address");
+    EXPECT_EXIT(TraceStream::fromString("BR 400000 X\n"),
+                testing::ExitedWithCode(1), "T\\|N");
+    EXPECT_EXIT(TraceStream::fromString("IA zzz\n"),
+                testing::ExitedWithCode(1), "bad hex");
+    EXPECT_EXIT(TraceStream::fromString("IA 400000 1 2 3\n"),
+                testing::ExitedWithCode(1), "trailing");
+}
+
+TEST(TraceStream, EmptyTraceIsFatal)
+{
+    EXPECT_EXIT(TraceStream::fromString("# only comments\n"),
+                testing::ExitedWithCode(1), "empty");
+}
+
+TEST(TraceStream, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceStream::fromFile("/nonexistent/trace.txt"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceStream, DrivesTheCore)
+{
+    // A small loop body: 3 ALU ops, a load, a mostly-taken branch.
+    std::string text;
+    for (int i = 0; i < 16; ++i) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "IA %x\nIA %x 1\nLD %x %x 2\nBR %x %s\n",
+                      0x400000 + i * 16, 0x400004 + i * 16,
+                      0x400008 + i * 16, 0x10000 + i * 64,
+                      0x40000c + i * 16, i == 15 ? "N" : "T");
+        text += buf;
+    }
+    TraceStream ts = TraceStream::fromString(text);
+    MemoryHierarchy mem;
+    Core core(CoreConfig{}, &ts, &mem);
+    core.run(20000, 1.0);
+    core.resetCounters();
+    core.run(5000, 1.0);
+    EXPECT_GT(core.counters().ipc(), 0.8);
+    EXPECT_GT(core.counters().branchLookups, 0u);
+    EXPECT_GT(core.counters().l1dAccesses, 0u);
+}
+
+} // namespace
+} // namespace mimoarch
