@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_weights"
+  "../bench/fig06_weights.pdb"
+  "CMakeFiles/fig06_weights.dir/fig06_weights.cpp.o"
+  "CMakeFiles/fig06_weights.dir/fig06_weights.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_model_dimension"
+  "../bench/fig07_model_dimension.pdb"
+  "CMakeFiles/fig07_model_dimension.dir/fig07_model_dimension.cpp.o"
+  "CMakeFiles/fig07_model_dimension.dir/fig07_model_dimension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_model_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

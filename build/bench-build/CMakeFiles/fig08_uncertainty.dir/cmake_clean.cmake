@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_uncertainty"
+  "../bench/fig08_uncertainty.pdb"
+  "CMakeFiles/fig08_uncertainty.dir/fig08_uncertainty.cpp.o"
+  "CMakeFiles/fig08_uncertainty.dir/fig08_uncertainty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_exd_2input.cpp" "bench-build/CMakeFiles/fig09_exd_2input.dir/fig09_exd_2input.cpp.o" "gcc" "bench-build/CMakeFiles/fig09_exd_2input.dir/fig09_exd_2input.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mimoarch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mimoarch_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimoarch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mimoarch_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysid/CMakeFiles/mimoarch_sysid.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/mimoarch_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mimoarch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mimoarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_exd_2input"
+  "../bench/fig09_exd_2input.pdb"
+  "CMakeFiles/fig09_exd_2input.dir/fig09_exd_2input.cpp.o"
+  "CMakeFiles/fig09_exd_2input.dir/fig09_exd_2input.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_exd_2input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_exd_2input.
+# This may be replaced when dependencies are built.

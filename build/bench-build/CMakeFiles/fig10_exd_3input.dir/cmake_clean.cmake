@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_exd_3input"
+  "../bench/fig10_exd_3input.pdb"
+  "CMakeFiles/fig10_exd_3input.dir/fig10_exd_3input.cpp.o"
+  "CMakeFiles/fig10_exd_3input.dir/fig10_exd_3input.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_exd_3input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_exd_3input.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_tracking"
+  "../bench/fig11_tracking.pdb"
+  "CMakeFiles/fig11_tracking.dir/fig11_tracking.cpp.o"
+  "CMakeFiles/fig11_tracking.dir/fig11_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_time_varying"
+  "../bench/fig12_time_varying.pdb"
+  "CMakeFiles/fig12_time_varying.dir/fig12_time_varying.cpp.o"
+  "CMakeFiles/fig12_time_varying.dir/fig12_time_varying.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_time_varying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_opt_metrics"
+  "../bench/table_opt_metrics.pdb"
+  "CMakeFiles/table_opt_metrics.dir/table_opt_metrics.cpp.o"
+  "CMakeFiles/table_opt_metrics.dir/table_opt_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_opt_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

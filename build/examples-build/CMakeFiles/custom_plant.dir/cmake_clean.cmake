@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_plant"
+  "../examples/custom_plant.pdb"
+  "CMakeFiles/custom_plant.dir/custom_plant.cpp.o"
+  "CMakeFiles/custom_plant.dir/custom_plant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/energy_tuning"
+  "../examples/energy_tuning.pdb"
+  "CMakeFiles/energy_tuning.dir/energy_tuning.cpp.o"
+  "CMakeFiles/energy_tuning.dir/energy_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

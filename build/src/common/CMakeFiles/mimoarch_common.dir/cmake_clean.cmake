@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_common.dir/csv.cpp.o"
+  "CMakeFiles/mimoarch_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mimoarch_common.dir/logging.cpp.o"
+  "CMakeFiles/mimoarch_common.dir/logging.cpp.o.d"
+  "libmimoarch_common.a"
+  "libmimoarch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

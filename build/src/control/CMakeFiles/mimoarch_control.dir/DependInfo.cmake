@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/lqg.cpp" "src/control/CMakeFiles/mimoarch_control.dir/lqg.cpp.o" "gcc" "src/control/CMakeFiles/mimoarch_control.dir/lqg.cpp.o.d"
+  "/root/repo/src/control/pid.cpp" "src/control/CMakeFiles/mimoarch_control.dir/pid.cpp.o" "gcc" "src/control/CMakeFiles/mimoarch_control.dir/pid.cpp.o.d"
+  "/root/repo/src/control/robust.cpp" "src/control/CMakeFiles/mimoarch_control.dir/robust.cpp.o" "gcc" "src/control/CMakeFiles/mimoarch_control.dir/robust.cpp.o.d"
+  "/root/repo/src/control/statespace.cpp" "src/control/CMakeFiles/mimoarch_control.dir/statespace.cpp.o" "gcc" "src/control/CMakeFiles/mimoarch_control.dir/statespace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mimoarch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mimoarch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

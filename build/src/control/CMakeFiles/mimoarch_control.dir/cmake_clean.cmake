@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_control.dir/lqg.cpp.o"
+  "CMakeFiles/mimoarch_control.dir/lqg.cpp.o.d"
+  "CMakeFiles/mimoarch_control.dir/pid.cpp.o"
+  "CMakeFiles/mimoarch_control.dir/pid.cpp.o.d"
+  "CMakeFiles/mimoarch_control.dir/robust.cpp.o"
+  "CMakeFiles/mimoarch_control.dir/robust.cpp.o.d"
+  "CMakeFiles/mimoarch_control.dir/statespace.cpp.o"
+  "CMakeFiles/mimoarch_control.dir/statespace.cpp.o.d"
+  "libmimoarch_control.a"
+  "libmimoarch_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

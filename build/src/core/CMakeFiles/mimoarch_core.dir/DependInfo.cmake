@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controllers.cpp" "src/core/CMakeFiles/mimoarch_core.dir/controllers.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/controllers.cpp.o.d"
+  "/root/repo/src/core/design_flow.cpp" "src/core/CMakeFiles/mimoarch_core.dir/design_flow.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/design_flow.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/mimoarch_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/heuristic_search.cpp" "src/core/CMakeFiles/mimoarch_core.dir/heuristic_search.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/heuristic_search.cpp.o.d"
+  "/root/repo/src/core/knobs.cpp" "src/core/CMakeFiles/mimoarch_core.dir/knobs.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/knobs.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/mimoarch_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/phase_detect.cpp" "src/core/CMakeFiles/mimoarch_core.dir/phase_detect.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/phase_detect.cpp.o.d"
+  "/root/repo/src/core/plant.cpp" "src/core/CMakeFiles/mimoarch_core.dir/plant.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/plant.cpp.o.d"
+  "/root/repo/src/core/qoe.cpp" "src/core/CMakeFiles/mimoarch_core.dir/qoe.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/qoe.cpp.o.d"
+  "/root/repo/src/core/weight_advisor.cpp" "src/core/CMakeFiles/mimoarch_core.dir/weight_advisor.cpp.o" "gcc" "src/core/CMakeFiles/mimoarch_core.dir/weight_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mimoarch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mimoarch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimoarch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mimoarch_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mimoarch_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/mimoarch_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysid/CMakeFiles/mimoarch_sysid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

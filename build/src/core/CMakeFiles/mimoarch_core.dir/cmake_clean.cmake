@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_core.dir/controllers.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/controllers.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/design_flow.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/design_flow.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/harness.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/harness.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/heuristic_search.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/heuristic_search.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/knobs.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/knobs.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/optimizer.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/phase_detect.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/phase_detect.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/plant.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/plant.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/qoe.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/qoe.cpp.o.d"
+  "CMakeFiles/mimoarch_core.dir/weight_advisor.cpp.o"
+  "CMakeFiles/mimoarch_core.dir/weight_advisor.cpp.o.d"
+  "libmimoarch_core.a"
+  "libmimoarch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eig.cpp" "src/linalg/CMakeFiles/mimoarch_linalg.dir/eig.cpp.o" "gcc" "src/linalg/CMakeFiles/mimoarch_linalg.dir/eig.cpp.o.d"
+  "/root/repo/src/linalg/leastsq.cpp" "src/linalg/CMakeFiles/mimoarch_linalg.dir/leastsq.cpp.o" "gcc" "src/linalg/CMakeFiles/mimoarch_linalg.dir/leastsq.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/mimoarch_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/mimoarch_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/riccati.cpp" "src/linalg/CMakeFiles/mimoarch_linalg.dir/riccati.cpp.o" "gcc" "src/linalg/CMakeFiles/mimoarch_linalg.dir/riccati.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/mimoarch_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/mimoarch_linalg.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mimoarch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

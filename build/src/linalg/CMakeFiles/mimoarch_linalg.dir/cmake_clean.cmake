@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_linalg.dir/eig.cpp.o"
+  "CMakeFiles/mimoarch_linalg.dir/eig.cpp.o.d"
+  "CMakeFiles/mimoarch_linalg.dir/leastsq.cpp.o"
+  "CMakeFiles/mimoarch_linalg.dir/leastsq.cpp.o.d"
+  "CMakeFiles/mimoarch_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mimoarch_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mimoarch_linalg.dir/riccati.cpp.o"
+  "CMakeFiles/mimoarch_linalg.dir/riccati.cpp.o.d"
+  "CMakeFiles/mimoarch_linalg.dir/svd.cpp.o"
+  "CMakeFiles/mimoarch_linalg.dir/svd.cpp.o.d"
+  "libmimoarch_linalg.a"
+  "libmimoarch_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_power.dir/energy_model.cpp.o"
+  "CMakeFiles/mimoarch_power.dir/energy_model.cpp.o.d"
+  "libmimoarch_power.a"
+  "libmimoarch_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

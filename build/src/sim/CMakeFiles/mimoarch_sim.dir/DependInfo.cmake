@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bpred.cpp" "src/sim/CMakeFiles/mimoarch_sim.dir/bpred.cpp.o" "gcc" "src/sim/CMakeFiles/mimoarch_sim.dir/bpred.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/mimoarch_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/mimoarch_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/mimoarch_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/mimoarch_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/dvfs.cpp" "src/sim/CMakeFiles/mimoarch_sim.dir/dvfs.cpp.o" "gcc" "src/sim/CMakeFiles/mimoarch_sim.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sim/memhier.cpp" "src/sim/CMakeFiles/mimoarch_sim.dir/memhier.cpp.o" "gcc" "src/sim/CMakeFiles/mimoarch_sim.dir/memhier.cpp.o.d"
+  "/root/repo/src/sim/processor.cpp" "src/sim/CMakeFiles/mimoarch_sim.dir/processor.cpp.o" "gcc" "src/sim/CMakeFiles/mimoarch_sim.dir/processor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mimoarch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mimoarch_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_sim.dir/bpred.cpp.o"
+  "CMakeFiles/mimoarch_sim.dir/bpred.cpp.o.d"
+  "CMakeFiles/mimoarch_sim.dir/cache.cpp.o"
+  "CMakeFiles/mimoarch_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/mimoarch_sim.dir/core.cpp.o"
+  "CMakeFiles/mimoarch_sim.dir/core.cpp.o.d"
+  "CMakeFiles/mimoarch_sim.dir/dvfs.cpp.o"
+  "CMakeFiles/mimoarch_sim.dir/dvfs.cpp.o.d"
+  "CMakeFiles/mimoarch_sim.dir/memhier.cpp.o"
+  "CMakeFiles/mimoarch_sim.dir/memhier.cpp.o.d"
+  "CMakeFiles/mimoarch_sim.dir/processor.cpp.o"
+  "CMakeFiles/mimoarch_sim.dir/processor.cpp.o.d"
+  "libmimoarch_sim.a"
+  "libmimoarch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

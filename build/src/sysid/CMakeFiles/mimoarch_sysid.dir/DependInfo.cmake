@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysid/arx.cpp" "src/sysid/CMakeFiles/mimoarch_sysid.dir/arx.cpp.o" "gcc" "src/sysid/CMakeFiles/mimoarch_sysid.dir/arx.cpp.o.d"
+  "/root/repo/src/sysid/validate.cpp" "src/sysid/CMakeFiles/mimoarch_sysid.dir/validate.cpp.o" "gcc" "src/sysid/CMakeFiles/mimoarch_sysid.dir/validate.cpp.o.d"
+  "/root/repo/src/sysid/waveform.cpp" "src/sysid/CMakeFiles/mimoarch_sysid.dir/waveform.cpp.o" "gcc" "src/sysid/CMakeFiles/mimoarch_sysid.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mimoarch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mimoarch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/mimoarch_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

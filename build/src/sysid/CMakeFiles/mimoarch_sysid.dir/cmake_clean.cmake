@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_sysid.dir/arx.cpp.o"
+  "CMakeFiles/mimoarch_sysid.dir/arx.cpp.o.d"
+  "CMakeFiles/mimoarch_sysid.dir/validate.cpp.o"
+  "CMakeFiles/mimoarch_sysid.dir/validate.cpp.o.d"
+  "CMakeFiles/mimoarch_sysid.dir/waveform.cpp.o"
+  "CMakeFiles/mimoarch_sysid.dir/waveform.cpp.o.d"
+  "libmimoarch_sysid.a"
+  "libmimoarch_sysid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

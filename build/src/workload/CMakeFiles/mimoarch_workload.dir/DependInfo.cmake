@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/spec_suite.cpp" "src/workload/CMakeFiles/mimoarch_workload.dir/spec_suite.cpp.o" "gcc" "src/workload/CMakeFiles/mimoarch_workload.dir/spec_suite.cpp.o.d"
+  "/root/repo/src/workload/synthetic_stream.cpp" "src/workload/CMakeFiles/mimoarch_workload.dir/synthetic_stream.cpp.o" "gcc" "src/workload/CMakeFiles/mimoarch_workload.dir/synthetic_stream.cpp.o.d"
+  "/root/repo/src/workload/trace_stream.cpp" "src/workload/CMakeFiles/mimoarch_workload.dir/trace_stream.cpp.o" "gcc" "src/workload/CMakeFiles/mimoarch_workload.dir/trace_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mimoarch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimoarch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mimoarch_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimoarch_workload.dir/spec_suite.cpp.o"
+  "CMakeFiles/mimoarch_workload.dir/spec_suite.cpp.o.d"
+  "CMakeFiles/mimoarch_workload.dir/synthetic_stream.cpp.o"
+  "CMakeFiles/mimoarch_workload.dir/synthetic_stream.cpp.o.d"
+  "CMakeFiles/mimoarch_workload.dir/trace_stream.cpp.o"
+  "CMakeFiles/mimoarch_workload.dir/trace_stream.cpp.o.d"
+  "libmimoarch_workload.a"
+  "libmimoarch_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimoarch_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmimoarch_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lqg.dir/lqg_test.cpp.o"
+  "CMakeFiles/test_lqg.dir/lqg_test.cpp.o.d"
+  "test_lqg"
+  "test_lqg.pdb"
+  "test_lqg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lqg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

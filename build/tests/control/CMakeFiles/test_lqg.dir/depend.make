@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lqg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lqg_ablation.dir/lqg_ablation_test.cpp.o"
+  "CMakeFiles/test_lqg_ablation.dir/lqg_ablation_test.cpp.o.d"
+  "test_lqg_ablation"
+  "test_lqg_ablation.pdb"
+  "test_lqg_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lqg_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lqg_param.dir/lqg_param_test.cpp.o"
+  "CMakeFiles/test_lqg_param.dir/lqg_param_test.cpp.o.d"
+  "test_lqg_param"
+  "test_lqg_param.pdb"
+  "test_lqg_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lqg_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pid.dir/pid_test.cpp.o"
+  "CMakeFiles/test_pid.dir/pid_test.cpp.o.d"
+  "test_pid"
+  "test_pid.pdb"
+  "test_pid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

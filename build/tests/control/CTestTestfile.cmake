@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/control
+# Build directory: /root/repo/build/tests/control
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/control/test_statespace[1]_include.cmake")
+include("/root/repo/build/tests/control/test_lqg[1]_include.cmake")
+include("/root/repo/build/tests/control/test_pid[1]_include.cmake")
+include("/root/repo/build/tests/control/test_robust[1]_include.cmake")
+include("/root/repo/build/tests/control/test_lqg_param[1]_include.cmake")
+include("/root/repo/build/tests/control/test_lqg_ablation[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_controllers.dir/controllers_test.cpp.o"
+  "CMakeFiles/test_arch_controllers.dir/controllers_test.cpp.o.d"
+  "test_arch_controllers"
+  "test_arch_controllers.pdb"
+  "test_arch_controllers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

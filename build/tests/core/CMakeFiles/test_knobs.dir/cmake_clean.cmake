@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knobs.dir/knobs_test.cpp.o"
+  "CMakeFiles/test_knobs.dir/knobs_test.cpp.o.d"
+  "test_knobs"
+  "test_knobs.pdb"
+  "test_knobs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

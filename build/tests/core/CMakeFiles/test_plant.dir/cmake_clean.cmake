@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plant.dir/plant_test.cpp.o"
+  "CMakeFiles/test_plant.dir/plant_test.cpp.o.d"
+  "test_plant"
+  "test_plant.pdb"
+  "test_plant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qoe.dir/qoe_test.cpp.o"
+  "CMakeFiles/test_qoe.dir/qoe_test.cpp.o.d"
+  "test_qoe"
+  "test_qoe.pdb"
+  "test_qoe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weight_advisor.dir/weight_advisor_test.cpp.o"
+  "CMakeFiles/test_weight_advisor.dir/weight_advisor_test.cpp.o.d"
+  "test_weight_advisor"
+  "test_weight_advisor.pdb"
+  "test_weight_advisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weight_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

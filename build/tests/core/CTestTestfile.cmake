@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_knobs[1]_include.cmake")
+include("/root/repo/build/tests/core/test_plant[1]_include.cmake")
+include("/root/repo/build/tests/core/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/core/test_phase_detect[1]_include.cmake")
+include("/root/repo/build/tests/core/test_qoe[1]_include.cmake")
+include("/root/repo/build/tests/core/test_arch_controllers[1]_include.cmake")
+include("/root/repo/build/tests/core/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/core/test_weight_advisor[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eig.dir/eig_test.cpp.o"
+  "CMakeFiles/test_eig.dir/eig_test.cpp.o.d"
+  "test_eig"
+  "test_eig.pdb"
+  "test_eig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leastsq.dir/leastsq_test.cpp.o"
+  "CMakeFiles/test_leastsq.dir/leastsq_test.cpp.o.d"
+  "test_leastsq"
+  "test_leastsq.pdb"
+  "test_leastsq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leastsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riccati.dir/riccati_test.cpp.o"
+  "CMakeFiles/test_riccati.dir/riccati_test.cpp.o.d"
+  "test_riccati"
+  "test_riccati.pdb"
+  "test_riccati[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riccati.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

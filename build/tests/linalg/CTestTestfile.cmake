@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/linalg
+# Build directory: /root/repo/build/tests/linalg
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/linalg/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_solve[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_leastsq[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_svd[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_eig[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_riccati[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_linalg_properties[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memhier.dir/memhier_test.cpp.o"
+  "CMakeFiles/test_memhier.dir/memhier_test.cpp.o.d"
+  "test_memhier"
+  "test_memhier.pdb"
+  "test_memhier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_bpred[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_memhier[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_dvfs[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_core[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_processor[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_param_sweep[1]_include.cmake")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sysid
+# Build directory: /root/repo/build/tests/sysid
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sysid/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/sysid/test_arx[1]_include.cmake")
+include("/root/repo/build/tests/sysid/test_validate[1]_include.cmake")

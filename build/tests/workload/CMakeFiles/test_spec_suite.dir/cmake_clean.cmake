@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_suite.dir/spec_suite_test.cpp.o"
+  "CMakeFiles/test_spec_suite.dir/spec_suite_test.cpp.o.d"
+  "test_spec_suite"
+  "test_spec_suite.pdb"
+  "test_spec_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

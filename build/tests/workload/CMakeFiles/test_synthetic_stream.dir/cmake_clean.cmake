@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthetic_stream.dir/synthetic_stream_test.cpp.o"
+  "CMakeFiles/test_synthetic_stream.dir/synthetic_stream_test.cpp.o.d"
+  "test_synthetic_stream"
+  "test_synthetic_stream.pdb"
+  "test_synthetic_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthetic_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

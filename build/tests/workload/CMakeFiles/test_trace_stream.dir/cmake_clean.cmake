@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_stream.dir/trace_stream_test.cpp.o"
+  "CMakeFiles/test_trace_stream.dir/trace_stream_test.cpp.o.d"
+  "test_trace_stream"
+  "test_trace_stream.pdb"
+  "test_trace_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
