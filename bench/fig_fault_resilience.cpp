@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Fault-resilience sweep: every production application runs under a
+ * mixed sensor/actuator fault schedule (NaN, stuck-at, spikes,
+ * dropouts, drift; dropped/lagged DVFS, stuck way-gating) at a range
+ * of fault rates, under three loops:
+ *
+ *   MIMO+sup   — supervised MIMO (sanitizer + degradation ladder),
+ *   MIMO-raw   — the bare MIMO loop from Fig. 11,
+ *   Heuristic  — the model-free baseline.
+ *
+ * Tracking error is scored against the plant's *true* outputs, so the
+ * numbers measure how the hardware behaved, not what the corrupted
+ * sensors claimed. Non-responsive applications carry a large tracking
+ * error even fault-free (the reference is unreachable — see Fig. 11),
+ * so a run "diverges" when its error blows up *relative to the same
+ * app/architecture pair fault-free*, or turns non-finite.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "robustness/fault_plant.hpp"
+#include "robustness/supervisor.hpp"
+
+using namespace mimoarch;
+using namespace mimoarch::bench;
+
+namespace {
+
+// A faulted run diverges when err > blowup * fault-free err + slack
+// for the same (app, architecture), or err is non-finite.
+constexpr double kDivergenceBlowup = 2.0;
+constexpr double kDivergenceSlackPct = 10.0;
+constexpr size_t kEpochs = 1800;
+constexpr size_t kErrorSkip = 300;
+
+FaultScheduleConfig
+faultsAtRate(double rate, uint64_t seed)
+{
+    FaultScheduleConfig f;
+    f.enabled = rate > 0.0;
+    f.sensorFaultRate = rate;
+    f.actuatorFaultRate = 0.5 * rate;
+    f.seed = seed;
+    return f;
+}
+
+struct RunResult
+{
+    double errPct = 0.0; //!< Mean of true IPS and power error (%).
+    bool diverged = false;
+    RunSummary sum;
+};
+
+RunResult
+runOne(const AppSpec &app, const KnobSpace &knobs, ArchController &ctrl,
+       const FaultScheduleConfig &faults, const ExperimentConfig &cfg,
+       double faultfree_err)
+{
+    ctrl.setReference(cfg.ipsReference, cfg.powerReference);
+    SimPlant plant(app, knobs);
+    FaultyPlant faulty(plant, faults);
+    DriverConfig dcfg;
+    dcfg.epochs = kEpochs;
+    dcfg.errorSkipEpochs = kErrorSkip;
+    EpochDriver driver(faulty, ctrl, dcfg);
+    RunResult r;
+    r.sum = driver.run(offTargetStart());
+    r.errPct = 0.5 * (r.sum.avgIpsErrorPct + r.sum.avgPowerErrorPct);
+    r.diverged = !std::isfinite(r.errPct) ||
+                 r.errPct > kDivergenceBlowup * faultfree_err +
+                                kDivergenceSlackPct;
+    return r;
+}
+
+std::unique_ptr<SupervisedController>
+makeSupervised(const MimoControllerDesign &flow,
+               const MimoDesignResult &design, const KnobSpace &knobs,
+               const ExperimentConfig &cfg)
+{
+    auto primary = flow.buildController(design);
+    auto fallback = std::make_unique<HeuristicArchController>(
+        knobs, HeuristicArchController::Tuning{}, cfg.ipsReference,
+        cfg.powerReference);
+    return std::make_unique<SupervisedController>(
+        std::move(primary), std::move(fallback), baselineSettings(),
+        SensorSanitizer::archDefaults());
+}
+
+struct Acc
+{
+    double err = 0.0;
+    double worst = 0.0;
+    int diverged = 0;
+    int n = 0;
+
+    void
+    add(const RunResult &r)
+    {
+        const double e = std::isfinite(r.errPct) ? r.errPct : 1000.0;
+        err += e;
+        worst = std::max(worst, e);
+        diverged += r.diverged ? 1 : 0;
+        ++n;
+    }
+
+    double mean() const { return n ? err / n : 0.0; }
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Fault resilience: supervised vs raw MIMO vs Heuristic");
+    const ExperimentConfig cfg = benchConfig();
+    const MimoDesignResult &design = cachedDesign(false);
+    KnobSpace knobs(false);
+    MimoControllerDesign flow(knobs, cfg);
+
+    const double rates[] = {0.0, 0.005, 0.01, 0.02, 0.05};
+    const char *arch_names[] = {"MIMO+sup", "MIMO-raw", "Heuristic"};
+
+    CsvTable table({"fault_rate", "app", "arch", "ips_err_pct",
+                    "power_err_pct", "diverged", "sanitized",
+                    "estimator_resets", "fallback_entries", "safe_pins",
+                    "repromotions"});
+
+    // acc[rate][arch]; faultfree[app][arch] is the rate-0 error used
+    // as each pair's divergence yardstick.
+    Acc acc[5][3];
+    double faultfree[32][3] = {};
+    unsigned long ladder_events = 0;
+
+    std::printf("%-10s | %-26s | %-26s | %-26s\n", "fault rate",
+                "MIMO+sup (err%, worst, div)",
+                "MIMO-raw (err%, worst, div)",
+                "Heuristic (err%, worst, div)");
+
+    const auto apps = figureAppOrder();
+    for (size_t ri = 0; ri < 5; ++ri) {
+        const double rate = rates[ri];
+        for (size_t ai = 0; ai < apps.size(); ++ai) {
+            const AppSpec &app = Spec2006Suite::byName(apps[ai]);
+            // One schedule per (rate, app): all three loops fight the
+            // exact same fault sequence.
+            const FaultScheduleConfig faults = faultsAtRate(
+                rate, 0xFA171u ^ (ai * 2654435761u) ^ (ri << 20));
+
+            auto supervised = makeSupervised(flow, design, knobs, cfg);
+            auto raw = flow.buildController(design);
+            HeuristicArchController heuristic(knobs, {}, cfg.ipsReference,
+                                              cfg.powerReference);
+            ArchController *ctrls[3] = {supervised.get(), raw.get(),
+                                        &heuristic};
+            for (int a = 0; a < 3; ++a) {
+                RunResult r = runOne(app, knobs, *ctrls[a], faults, cfg,
+                                     faultfree[ai][a]);
+                if (ri == 0) {
+                    // The fault-free pass defines the yardstick; it
+                    // can only "diverge" by going non-finite.
+                    faultfree[ai][a] = r.errPct;
+                    r.diverged = !std::isfinite(r.errPct);
+                }
+                acc[ri][a].add(r);
+                const ControllerHealth &h = r.sum.health;
+                if (a == 0) {
+                    ladder_events += h.estimatorResets +
+                                     h.fallbackEntries + h.safePins;
+                }
+                table.addRow({formatCell(rate), apps[ai], arch_names[a],
+                              formatCell(r.sum.avgIpsErrorPct),
+                              formatCell(r.sum.avgPowerErrorPct),
+                              r.diverged ? "1" : "0",
+                              formatCell(double(h.sanitizedMeasurements)),
+                              formatCell(double(h.estimatorResets)),
+                              formatCell(double(h.fallbackEntries)),
+                              formatCell(double(h.safePins)),
+                              formatCell(double(h.repromotions))});
+            }
+        }
+        std::printf("%9.1f%% |", rate * 100.0);
+        for (int a = 0; a < 3; ++a) {
+            std::printf("   %7.1f %8.1f %3d    |", acc[ri][a].mean(),
+                        acc[ri][a].worst, acc[ri][a].diverged);
+        }
+        std::printf("\n");
+    }
+
+    table.writeFile("fig_fault_resilience.csv");
+
+    // The acceptance story: at a 1% mixed fault rate the supervised
+    // loop must stay within 2x its fault-free error on every workload,
+    // while the raw loop visibly loses at least one.
+    const double clean = acc[0][0].mean();
+    const double at1pct = acc[2][0].mean();
+    int raw_divergences = 0;
+    for (auto &row : acc)
+        raw_divergences += row[1].diverged;
+    std::printf("\n# supervised mean true error: %.1f%% fault-free -> "
+                "%.1f%% at 1%% faults (%.2fx); %d/%d divergences; "
+                "%lu ladder events across the sweep.\n",
+                clean, at1pct, clean > 0 ? at1pct / clean : 0.0,
+                acc[2][0].diverged, acc[2][0].n, ladder_events);
+    std::printf("# raw MIMO divergences across all rates: %d; heuristic "
+                "at 1%%: %.1f%% mean error.\n",
+                raw_divergences, acc[2][2].mean());
+    std::printf("# expected shape: supervised stays within ~2x of "
+                "fault-free up through 1-2%% rates; the raw loop loses "
+                "at least one app to a >%.0fx-plus-%.0fpp blowup.\n",
+                kDivergenceBlowup, kDivergenceSlackPct);
+    return 0;
+}

@@ -22,7 +22,29 @@ diagFrom(const std::vector<double> &entries)
 LqgServoController::LqgServoController(const StateSpaceModel &model,
                                        const LqgWeights &weights,
                                        const InputLimits &limits)
-    : model_(model), weights_(weights), limits_(limits)
+{
+    auto made = tryMake(model, weights, limits);
+    if (!made.ok())
+        fatal(made.error().message);
+    *this = made.take();
+}
+
+Result<LqgServoController>
+LqgServoController::tryMake(const StateSpaceModel &model,
+                            const LqgWeights &weights,
+                            const InputLimits &limits)
+{
+    LqgServoController c;
+    c.model_ = model;
+    c.weights_ = weights;
+    c.limits_ = limits;
+    if (Status st = c.init(); !st.ok())
+        return st.error();
+    return c;
+}
+
+Status
+LqgServoController::init()
 {
     model_.validate();
     const size_t n = model_.stateDim();
@@ -31,14 +53,19 @@ LqgServoController::LqgServoController(const StateSpaceModel &model,
 
     if (weights_.outputWeights.size() != p ||
         weights_.inputWeights.size() != m) {
-        fatal("LQG weights: need ", p, " output and ", m,
-              " input weights");
+        return makeError(ErrorCode::InvalidArgument,
+                         "LQG weights: need ", p, " output and ", m,
+                         " input weights");
     }
-    if (limits_.lo.size() != m || limits_.hi.size() != m)
-        fatal("LQG limits: need ", m, " per-input bounds");
+    if (limits_.lo.size() != m || limits_.hi.size() != m) {
+        return makeError(ErrorCode::InvalidArgument, "LQG limits: need ",
+                         m, " per-input bounds");
+    }
     if (p > m) {
-        fatal("MIMO limitation: the number of outputs (", p,
-              ") cannot exceed the number of inputs (", m, ")");
+        return makeError(ErrorCode::InvalidArgument,
+                         "MIMO limitation: the number of outputs (", p,
+                         ") cannot exceed the number of inputs (", m,
+                         ")");
     }
 
     // Weights in scaled coordinates.
@@ -80,8 +107,10 @@ LqgServoController::LqgServoController(const StateSpaceModel &model,
 
     const auto dare = solveDare(a_aug, b_aug, q_aug, r);
     if (!dare) {
-        fatal("LQG design failed: no stabilizing DARE solution for the "
-              "augmented system (check weights and model stability)");
+        return makeError(
+            ErrorCode::DareNotConverged,
+            "LQG design failed: no stabilizing DARE solution for the "
+            "augmented system (check weights and model stability)");
     }
     const Matrix k = lqrGainFromDare(a_aug, b_aug, r, dare->p);
     design_.kx = k.block(0, 0, m, n);
@@ -109,8 +138,10 @@ LqgServoController::LqgServoController(const StateSpaceModel &model,
     const auto est = solveDare(model_.a.transpose(), model_.c.transpose(),
                                qn, rn);
     if (!est) {
-        fatal("LQG design failed: no stabilizing Kalman DARE solution "
-              "(check the noise covariances)");
+        return makeError(
+            ErrorCode::KalmanNotConverged,
+            "LQG design failed: no stabilizing Kalman DARE solution "
+            "(check the noise covariances)");
     }
     // L = A P C' (Rn + C P C')^-1.
     const Matrix pcov = est->p;
@@ -124,6 +155,7 @@ LqgServoController::LqgServoController(const StateSpaceModel &model,
         y0Physical_[i] = model_.outputScaling.offset[i];
     setReference(y0Physical_);
     reset(Matrix::vector(std::vector<double>(m, 0.0)));
+    return Status();
 }
 
 void
@@ -178,6 +210,18 @@ LqgServoController::step(const Matrix &y_physical)
         y_physical.cols() != 1) {
         fatal("step: expected ", model_.numOutputs(), " outputs");
     }
+
+    // Reject corrupt measurements: hold the last applied command and
+    // keep the estimator/integrator untouched. One NaN sample must not
+    // poison x_hat (every later step would then be NaN too).
+    bool measurement_finite = true;
+    for (size_t i = 0; i < y_physical.rows(); ++i)
+        measurement_finite &= std::isfinite(y_physical[i]) != 0;
+    if (!measurement_finite) {
+        ++rejectedMeasurements_;
+        return model_.inputScaling.toPhysical(uPrev_);
+    }
+
     const Matrix y = model_.outputScaling.toScaled(y_physical);
 
     // Estimator measurement update is folded into the predict step
@@ -211,6 +255,7 @@ LqgServoController::step(const Matrix &y_physical)
 
     // Kalman update with the measurement and the *applied* input.
     const Matrix innovation = y - model_.c * xHat_ - model_.d * u;
+    lastInnovationNorm_ = innovation.frobeniusNorm();
     xHat_ = model_.a * xHat_ + model_.b * u +
         design_.kalmanGain * innovation;
 
@@ -242,6 +287,7 @@ LqgServoController::step(const Matrix &y_physical)
             satStreak_ = 0;
         if (satStreak_ >= watchdogSteps_) {
             satStreak_ = 0;
+            ++watchdogTrips_;
             xHat_ = Matrix(model_.stateDim(), 1);
             zInt_ = Matrix(model_.numOutputs(), 1);
         }
@@ -249,6 +295,19 @@ LqgServoController::step(const Matrix &y_physical)
 
     uPrev_ = u;
     return u_phys;
+}
+
+bool
+LqgServoController::stateFinite() const
+{
+    const auto all_finite = [](const Matrix &m) {
+        for (size_t i = 0; i < m.size(); ++i) {
+            if (!std::isfinite(m.data()[i]))
+                return false;
+        }
+        return true;
+    };
+    return all_finite(xHat_) && all_finite(uPrev_) && all_finite(zInt_);
 }
 
 StateSpaceModel

@@ -24,6 +24,7 @@
 
 #include <optional>
 
+#include "common/expected.hpp"
 #include "control/statespace.hpp"
 #include "linalg/matrix.hpp"
 
@@ -71,13 +72,22 @@ class LqgServoController
     /**
      * Design the controller for @p model with @p weights.
      * @param limits physical saturation bounds per input.
-     * fatal()s if the DARE has no stabilizing solution (the paper's
-     * design loop would then change weights and retry — see
-     * MimoControllerDesign).
+     * fatal()s if the DARE has no stabilizing solution; design loops
+     * that want to change weights and retry (Fig. 3) use tryMake().
      */
     LqgServoController(const StateSpaceModel &model,
                        const LqgWeights &weights,
                        const InputLimits &limits);
+
+    /**
+     * Recoverable variant of the constructor: returns an Error
+     * (DareNotConverged / KalmanNotConverged / InvalidArgument)
+     * instead of aborting, so the design flow can adjust weights and
+     * retry as the paper describes (§IV-B4).
+     */
+    static Result<LqgServoController>
+    tryMake(const StateSpaceModel &model, const LqgWeights &weights,
+            const InputLimits &limits);
 
     /** Set the output reference values (physical units, O x 1). */
     void setReference(const Matrix &y0_physical);
@@ -88,6 +98,12 @@ class LqgServoController
     /**
      * One control step: observe @p y (physical O x 1), produce the next
      * input command (physical I x 1, saturated but not quantized).
+     *
+     * A measurement with a non-finite component is *rejected*: the
+     * estimator and integrator are left untouched, the last applied
+     * command is re-issued, and rejectedMeasurements() is incremented.
+     * A single corrupt power sample must never poison the state
+     * estimate or kill the loop.
      */
     Matrix step(const Matrix &y_physical);
 
@@ -103,6 +119,23 @@ class LqgServoController
      * corner of the discrete input space. 0 disables the watchdog.
      */
     void setSaturationWatchdog(unsigned steps) { watchdogSteps_ = steps; }
+
+    /** Times the saturation watchdog re-initialized the servo. */
+    unsigned long watchdogTrips() const { return watchdogTrips_; }
+
+    /** Non-finite measurements rejected (held) by step(). */
+    unsigned long rejectedMeasurements() const { return rejectedMeasurements_; }
+
+    /**
+     * Norm of the last step's Kalman innovation (scaled coordinates).
+     * A supervisor watches this: persistent large innovations mean the
+     * measurements no longer fit the model (sensor fault or plant
+     * departure) and the estimate is drifting.
+     */
+    double lastInnovationNorm() const { return lastInnovationNorm_; }
+
+    /** True while the estimator/integrator state is finite. */
+    bool stateFinite() const;
 
     /** Static design artifacts. */
     const LqgDesign &design() const { return design_; }
@@ -121,6 +154,11 @@ class LqgServoController
     size_t storedFloats() const;
 
   private:
+    LqgServoController() = default; //!< For tryMake().
+
+    /** The whole design computation; all recoverable failures. */
+    Status init();
+
     void computeTargets();
 
     StateSpaceModel model_;
@@ -140,6 +178,9 @@ class LqgServoController
     Matrix zInt_;
     unsigned watchdogSteps_ = 100;
     unsigned satStreak_ = 0;
+    unsigned long watchdogTrips_ = 0;
+    unsigned long rejectedMeasurements_ = 0;
+    double lastInnovationNorm_ = 0.0;
 };
 
 } // namespace mimoarch

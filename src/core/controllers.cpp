@@ -70,6 +70,12 @@ MimoArchController::initialize(const KnobSettings &initial)
     last_ = initial;
 }
 
+void
+MimoArchController::resetEstimator()
+{
+    lqg_.reset(knobs_.toVector(last_));
+}
+
 // ----------------------------------------------------------- Decoupled
 
 DecoupledArchController::DecoupledArchController(

@@ -34,6 +34,24 @@ struct Observation
     double ipc = 0;
 };
 
+/**
+ * Robustness/supervision counters a controller can report. Plain
+ * controllers report all-zero defaults; the supervised stack (see
+ * src/robustness) fills every field. The harness copies this into
+ * RunSummary so figure benches can plot fault/recovery behaviour.
+ */
+struct ControllerHealth
+{
+    unsigned tier = 0; //!< 0 = primary nominal; see DegradationTier.
+    unsigned long sanitizedMeasurements = 0; //!< Readings repaired/held.
+    unsigned long rejectedMeasurements = 0;  //!< Non-finite, dropped.
+    unsigned long estimatorResets = 0;       //!< Supervisor tier-1 actions.
+    unsigned long fallbackEntries = 0;       //!< Demotions to Heuristic.
+    unsigned long safePins = 0;              //!< Demotions to static-safe.
+    unsigned long repromotions = 0;          //!< Probation promotions.
+    unsigned long watchdogTrips = 0;         //!< LQG saturation watchdog.
+};
+
 /** Common interface of the per-epoch knob controllers. */
 class ArchController
 {
@@ -53,6 +71,9 @@ class ArchController
     virtual void initialize(const KnobSettings &initial) = 0;
 
     virtual std::string name() const = 0;
+
+    /** Robustness counters (all-zero for plain controllers). */
+    virtual ControllerHealth health() const { return {}; }
 };
 
 /** Baseline: fixed settings. */
@@ -85,6 +106,23 @@ class MimoArchController : public ArchController
     std::pair<double, double> reference() const override;
     void initialize(const KnobSettings &initial) override;
     std::string name() const override { return "MIMO"; }
+
+    ControllerHealth
+    health() const override
+    {
+        ControllerHealth h;
+        h.rejectedMeasurements = lqg_.rejectedMeasurements();
+        h.watchdogTrips = lqg_.watchdogTrips();
+        return h;
+    }
+
+    /**
+     * Re-initialize the estimator and integrator around the current
+     * settings, keeping the design. The supervisor's tier-1 action:
+     * after a burst of corrupt measurements the state estimate is
+     * worthless, but the (validated) design is not.
+     */
+    void resetEstimator();
 
     const LqgServoController &lqg() const { return lqg_; }
 

@@ -148,19 +148,38 @@ MimoControllerDesign::design(const std::vector<AppSpec> &training,
     result.guardbands = {config_.ipsGuardband, config_.powerGuardband};
 
     // 4. Design + RSA loop: raise input weights until robustly stable.
+    // A DARE that does not converge for the current weights is handled
+    // the same way as an RSA failure — adjust the weights and redesign
+    // (Fig. 3) — rather than aborting the flow.
     const InputLimits limits{knobs_.lowerLimits(), knobs_.upperLimits()};
     RobustStabilityAnalyzer rsa;
     const std::vector<double> w_scaled =
         scaledGuardbands(model, result.guardbands);
+    bool any_design = false;
     for (int attempt = 0; attempt < 10; ++attempt) {
-        LqgServoController ctrl(model, result.weights, limits);
-        result.rsa = rsa.analyze(model, ctrl.controllerRealization(),
+        auto ctrl = LqgServoController::tryMake(model, result.weights,
+                                                limits);
+        if (!ctrl.ok()) {
+            warn("design attempt ", attempt, ": ", ctrl.error().message,
+                 "; raising input weights and retrying");
+            for (double &wi : result.weights.inputWeights)
+                wi *= 2.0;
+            ++result.weightAdjustments;
+            continue;
+        }
+        any_design = true;
+        result.rsa = rsa.analyze(model,
+                                 ctrl.value().controllerRealization(),
                                  w_scaled);
         if (result.rsa.ok())
             return result;
         for (double &wi : result.weights.inputWeights)
             wi *= 2.0;
         ++result.weightAdjustments;
+    }
+    if (!any_design) {
+        fatal("design: no stabilizing LQG design found after ",
+              result.weightAdjustments, " weight adjustments");
     }
     warn("design: robust stability not reached after ",
          result.weightAdjustments, " weight adjustments (peak gain ",

@@ -62,8 +62,30 @@ EpochDriver::run(const KnobSettings &initial)
     double err_ips = 0.0, err_power = 0.0;
     size_t err_samples = 0;
 
+    unsigned long nonfinite_skips = 0;
+
     for (size_t t = 0; t < config_.epochs; ++t) {
         const Matrix y = plant_.step(settings);
+
+        // What the hardware actually did: equals y unless a
+        // fault-injecting plant corrupted the sensor path.
+        Matrix y_true = plant_.lastTrueOutputs();
+        if (y_true.empty())
+            y_true = y;
+
+        // Harden the loop against corrupt sensor epochs: a non-finite
+        // IPS or power sample is counted and skipped — the settings are
+        // held — instead of being propagated into the estimator.
+        const bool y_finite = std::isfinite(y[kOutputIps]) &&
+            std::isfinite(y[kOutputPower]);
+        if (!y_finite) {
+            if (nonfinite_skips == 0) {
+                warn("EpochDriver: non-finite sensor reading at epoch ",
+                     t, "; holding settings (further skips counted "
+                     "silently)");
+            }
+            ++nonfinite_skips;
+        }
 
         Observation obs;
         obs.y = y;
@@ -81,7 +103,7 @@ EpochDriver::run(const KnobSettings &initial)
         // Optimizer search management: the first invocation starts a
         // search; afterwards only a phase change (or the optional
         // periodic restart) triggers a new one (§V).
-        if (opt) {
+        if (opt && y_finite) {
             const bool phase_change =
                 config_.usePhaseDetector &&
                 phases.observe(obs.ipc, obs.l2Mpki);
@@ -93,9 +115,12 @@ EpochDriver::run(const KnobSettings &initial)
             opt->observe(y);
         }
 
-        settings = controller_.update(obs);
+        if (y_finite)
+            settings = controller_.update(obs);
 
-        // Tracking-error accounting against the *current* references.
+        // Tracking-error accounting against the *current* references,
+        // scored on the true outputs (a controller chasing corrupted
+        // readings must not be credited for tracking them).
         double ref_ips = 0.0, ref_power = 0.0;
         if (qoe_) {
             ref_ips = qoe_->targets().ips;
@@ -105,21 +130,27 @@ EpochDriver::run(const KnobSettings &initial)
         }
         if (t >= config_.errorSkipEpochs && ref_ips > 0 &&
             ref_power > 0 && !config_.useOptimizer) {
-            err_ips += std::abs(y[kOutputIps] - ref_ips) / ref_ips;
-            err_power += std::abs(y[kOutputPower] - ref_power) / ref_power;
+            err_ips += std::abs(y_true[kOutputIps] - ref_ips) / ref_ips;
+            err_power +=
+                std::abs(y_true[kOutputPower] - ref_power) / ref_power;
             ++err_samples;
         }
 
         trace_.ips.push_back(y[kOutputIps]);
         trace_.power.push_back(y[kOutputPower]);
+        trace_.trueIps.push_back(y_true[kOutputIps]);
+        trace_.truePower.push_back(y_true[kOutputPower]);
         trace_.refIps.push_back(ref_ips);
         trace_.refPower.push_back(ref_power);
         trace_.freqLevel.push_back(settings.freqLevel);
         trace_.cacheSetting.push_back(settings.cacheSetting);
         trace_.robPartitions.push_back(settings.robPartitions);
+        trace_.tier.push_back(controller_.health().tier);
     }
 
     RunSummary s;
+    s.nonFiniteSkips = nonfinite_skips;
+    s.health = controller_.health();
     if (err_samples) {
         s.avgIpsErrorPct = 100.0 * err_ips / static_cast<double>(err_samples);
         s.avgPowerErrorPct =

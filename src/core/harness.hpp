@@ -24,13 +24,16 @@ namespace mimoarch {
 /** Per-epoch trace of a run (for figure time series). */
 struct EpochTrace
 {
-    std::vector<double> ips;
+    std::vector<double> ips;    //!< As reported by the sensors.
     std::vector<double> power;
+    std::vector<double> trueIps;   //!< As the hardware behaved (equal to
+    std::vector<double> truePower; //!< ips/power without fault injection).
     std::vector<double> refIps;
     std::vector<double> refPower;
     std::vector<unsigned> freqLevel;
     std::vector<unsigned> cacheSetting;
     std::vector<unsigned> robPartitions;
+    std::vector<unsigned> tier; //!< Supervisor degradation tier.
 };
 
 /** Aggregate results of one controlled run. */
@@ -44,6 +47,15 @@ struct RunSummary
     double totalEnergyJ = 0.0;
     double totalTimeS = 0.0;
     double totalInstrB = 0.0;
+
+    /**
+     * Epochs whose sensor vector had a non-finite component and was
+     * therefore not fed to the controller (the settings were held).
+     */
+    unsigned long nonFiniteSkips = 0;
+
+    /** Controller-side robustness counters at the end of the run. */
+    ControllerHealth health{};
 
     /** Energy per unit work (J per B-instructions). */
     double

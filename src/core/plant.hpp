@@ -43,6 +43,15 @@ class Plant
     /** Current settings. */
     virtual KnobSettings currentSettings() const = 0;
 
+    /**
+     * The last step's outputs *before* any sensor corruption — what the
+     * hardware actually did, as opposed to what the sensors reported.
+     * Fault-injecting decorators override this so the harness can score
+     * true tracking error; an empty matrix means "same as step()'s
+     * return" (the default for honest plants).
+     */
+    virtual Matrix lastTrueOutputs() const { return Matrix(); }
+
     /** Auxiliary sensors from the last epoch (for heuristics/phases). */
     virtual double lastL2Mpki() const = 0;
     virtual double lastIpc() const = 0;
@@ -77,6 +86,15 @@ class SimPlant : public Plant
 
     /** Readout of the last epoch beyond (IPS, power). */
     const EpochOutputs &lastEpoch() const { return last_; }
+
+    Matrix
+    lastTrueOutputs() const override
+    {
+        Matrix y(kNumPlantOutputs, 1);
+        y[kOutputIps] = last_.ips;
+        y[kOutputPower] = last_.powerWatts;
+        return y;
+    }
 
     double lastL2Mpki() const override { return last_.l2Mpki; }
     double lastIpc() const override { return last_.ipc; }

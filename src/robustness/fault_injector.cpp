@@ -1,0 +1,230 @@
+#include "robustness/fault_injector.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "core/plant.hpp"
+
+namespace mimoarch {
+
+namespace {
+
+/** Weighted pick over the positive entries of @p weights. */
+template <typename Kind, size_t N>
+Kind
+weightedPick(Rng &rng, const double (&weights)[N], const Kind (&kinds)[N])
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w > 0.0 ? w : 0.0;
+    if (total <= 0.0)
+        return kinds[0];
+    double draw = rng.uniform(0.0, total);
+    for (size_t i = 0; i < N; ++i) {
+        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (draw < w)
+            return kinds[i];
+        draw -= w;
+    }
+    return kinds[N - 1];
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultScheduleConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    if (config_.sensorFaultRate < 0.0 || config_.sensorFaultRate > 1.0 ||
+        config_.actuatorFaultRate < 0.0 ||
+        config_.actuatorFaultRate > 1.0) {
+        fatal("FaultInjector: fault rates must be in [0, 1]");
+    }
+    sensors_.resize(kNumPlantOutputs);
+}
+
+void
+FaultInjector::reset()
+{
+    rng_.reseed(config_.seed);
+    sensors_.assign(kNumPlantOutputs, SensorChannel{});
+    actuator_ = ActuatorState{};
+    stats_ = FaultInjectorStats{};
+}
+
+SensorFaultKind
+FaultInjector::pickSensorKind()
+{
+    const double weights[] = {config_.weightNaN, config_.weightStuckAt,
+                              config_.weightSpike, config_.weightDropout,
+                              config_.weightDrift};
+    const SensorFaultKind kinds[] = {
+        SensorFaultKind::NonFinite, SensorFaultKind::StuckAt,
+        SensorFaultKind::Spike, SensorFaultKind::Dropout,
+        SensorFaultKind::Drift};
+    return weightedPick(rng_, weights, kinds);
+}
+
+ActuatorFaultKind
+FaultInjector::pickActuatorKind()
+{
+    const double weights[] = {config_.weightDropTransition,
+                              config_.weightLagTransition,
+                              config_.weightStuckCache};
+    const ActuatorFaultKind kinds[] = {ActuatorFaultKind::DropTransition,
+                                       ActuatorFaultKind::LagTransition,
+                                       ActuatorFaultKind::StuckCache};
+    return weightedPick(rng_, weights, kinds);
+}
+
+void
+FaultInjector::startSensorFault(SensorChannel &ch, double current_value)
+{
+    ch.active = pickSensorKind();
+    ++stats_.sensorEvents;
+    switch (ch.active) {
+      case SensorFaultKind::NonFinite:
+        ch.remaining = 1;
+        ch.nonFiniteInf = rng_.bernoulli(0.5);
+        break;
+      case SensorFaultKind::StuckAt:
+        ch.remaining = config_.stuckEpochs;
+        ch.stuckValue = current_value;
+        break;
+      case SensorFaultKind::Spike:
+        ch.remaining = 1;
+        ch.spikeUp = rng_.bernoulli(0.5);
+        break;
+      case SensorFaultKind::Dropout:
+        ch.remaining = config_.dropoutEpochs;
+        break;
+      case SensorFaultKind::Drift:
+        ch.remaining = config_.driftEpochs;
+        ch.driftBias = 0.0;
+        ch.driftStep = rng_.bernoulli(0.5) ? config_.driftPerEpoch
+                                           : -config_.driftPerEpoch;
+        break;
+      case SensorFaultKind::None:
+        break;
+    }
+}
+
+Matrix
+FaultInjector::corruptSensors(size_t epoch, const Matrix &y_true)
+{
+    Matrix y = y_true;
+    if (!config_.enabled)
+        return y;
+    const bool in_window =
+        epoch >= config_.startEpoch && epoch < config_.endEpoch;
+
+    for (size_t c = 0; c < sensors_.size() && c < y.rows(); ++c) {
+        SensorChannel &ch = sensors_[c];
+        // Draw unconditionally so the schedule for one channel does
+        // not depend on the others' fault durations.
+        const bool fire = rng_.bernoulli(config_.sensorFaultRate);
+        if (ch.active == SensorFaultKind::None && in_window && fire)
+            startSensorFault(ch, y[c]);
+        if (ch.active == SensorFaultKind::None)
+            continue;
+
+        switch (ch.active) {
+          case SensorFaultKind::NonFinite:
+            y[c] = ch.nonFiniteInf
+                ? std::numeric_limits<double>::infinity()
+                : std::numeric_limits<double>::quiet_NaN();
+            ++stats_.nonFinite;
+            break;
+          case SensorFaultKind::StuckAt:
+            y[c] = ch.stuckValue;
+            ++stats_.stuckAt;
+            break;
+          case SensorFaultKind::Spike:
+            y[c] = ch.spikeUp ? y[c] * config_.spikeFactor
+                              : y[c] / config_.spikeFactor;
+            ++stats_.spikes;
+            break;
+          case SensorFaultKind::Dropout:
+            y[c] = 0.0;
+            ++stats_.dropouts;
+            break;
+          case SensorFaultKind::Drift:
+            ch.driftBias += ch.driftStep;
+            y[c] *= 1.0 + ch.driftBias;
+            ++stats_.driftEpochs;
+            break;
+          case SensorFaultKind::None:
+            break;
+        }
+        if (--ch.remaining == 0)
+            ch.active = SensorFaultKind::None;
+    }
+    return y;
+}
+
+KnobSettings
+FaultInjector::corruptActuators(size_t epoch,
+                                const KnobSettings &requested)
+{
+    KnobSettings applied = requested;
+    if (!config_.enabled) {
+        actuator_.lastApplied = applied;
+        actuator_.haveApplied = true;
+        return applied;
+    }
+    const bool in_window =
+        epoch >= config_.startEpoch && epoch < config_.endEpoch;
+    ActuatorState &a = actuator_;
+
+    const bool fire = rng_.bernoulli(config_.actuatorFaultRate);
+    if (a.active == ActuatorFaultKind::None && in_window && fire &&
+        a.haveApplied) {
+        a.active = pickActuatorKind();
+        ++stats_.actuatorEvents;
+        switch (a.active) {
+          case ActuatorFaultKind::DropTransition:
+            a.remaining = 1;
+            break;
+          case ActuatorFaultKind::LagTransition:
+            a.remaining = config_.lagEpochs;
+            a.heldFreqLevel = a.lastApplied.freqLevel;
+            break;
+          case ActuatorFaultKind::StuckCache:
+            a.remaining = config_.cacheStuckEpochs;
+            a.stuckCacheSetting = a.lastApplied.cacheSetting;
+            break;
+          case ActuatorFaultKind::None:
+            break;
+        }
+    }
+
+    switch (a.active) {
+      case ActuatorFaultKind::DropTransition:
+        // This epoch's DVFS command is lost; the old level persists.
+        if (applied.freqLevel != a.lastApplied.freqLevel)
+            ++stats_.droppedTransitions;
+        applied.freqLevel = a.lastApplied.freqLevel;
+        break;
+      case ActuatorFaultKind::LagTransition:
+        // The PLL is busy: frequency stays at the level held when the
+        // fault began until the lag expires.
+        if (applied.freqLevel != a.heldFreqLevel)
+            ++stats_.laggedTransitions;
+        applied.freqLevel = a.heldFreqLevel;
+        break;
+      case ActuatorFaultKind::StuckCache:
+        applied.cacheSetting = a.stuckCacheSetting;
+        ++stats_.stuckCacheEpochs;
+        break;
+      case ActuatorFaultKind::None:
+        break;
+    }
+    if (a.active != ActuatorFaultKind::None && --a.remaining == 0)
+        a.active = ActuatorFaultKind::None;
+
+    a.lastApplied = applied;
+    a.haveApplied = true;
+    return applied;
+}
+
+} // namespace mimoarch

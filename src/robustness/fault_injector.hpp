@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic fault injection for the control loop.
+ *
+ * The paper's case for formal MIMO control is robustness to modelling
+ * error (§III-B); production loops additionally face *measurement*
+ * corruption and *actuation* failure. FaultInjector synthesizes both
+ * from a seeded schedule (FaultScheduleConfig) so robustness
+ * experiments replay exactly:
+ *
+ *   Sensor faults    — NaN/Inf samples, stuck-at (reading freezes),
+ *                      spike outliers, dropouts (reading goes to zero),
+ *                      and slow bias drift.
+ *   Actuator faults  — dropped DVFS transitions, lagged DVFS
+ *                      transitions, and stuck cache-way gating.
+ *
+ * The injector sits between the plant and the controller (see
+ * FaultyPlant): it corrupts what the controller *sees* and what the
+ * hardware *does*, never the simulator's internal state.
+ */
+
+#pragma once
+
+#include "common/random.hpp"
+#include "core/experiment_config.hpp"
+#include "core/knobs.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Sensor fault classes (per output channel). */
+enum class SensorFaultKind {
+    None,
+    NonFinite, //!< NaN or +/-Inf sample.
+    StuckAt,   //!< Reading frozen at its value when the fault began.
+    Spike,     //!< Reading multiplied or divided by spikeFactor.
+    Dropout,   //!< Reading reads zero.
+    Drift,     //!< Reading accumulates relative bias over time.
+};
+
+/** Actuator fault classes. */
+enum class ActuatorFaultKind {
+    None,
+    DropTransition, //!< A requested DVFS level change is ignored.
+    LagTransition,  //!< DVFS changes apply lagEpochs late.
+    StuckCache,     //!< Way gating frozen at the current setting.
+};
+
+/** Counters of everything the injector did. */
+struct FaultInjectorStats
+{
+    unsigned long sensorEvents = 0;   //!< Fault episodes started.
+    unsigned long nonFinite = 0;      //!< Corrupted epochs per class.
+    unsigned long stuckAt = 0;
+    unsigned long spikes = 0;
+    unsigned long dropouts = 0;
+    unsigned long driftEpochs = 0;
+    unsigned long actuatorEvents = 0;
+    unsigned long droppedTransitions = 0;
+    unsigned long laggedTransitions = 0;
+    unsigned long stuckCacheEpochs = 0;
+
+    unsigned long
+    corruptedSensorEpochs() const
+    {
+        return nonFinite + stuckAt + spikes + dropouts + driftEpochs;
+    }
+};
+
+/** Seeded sensor/actuator corruption on a per-epoch schedule. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultScheduleConfig &config);
+
+    /**
+     * Corrupt the sensor vector for @p epoch. Call exactly once per
+     * epoch with monotonically increasing epochs — the draw sequence
+     * is what makes the schedule deterministic.
+     */
+    Matrix corruptSensors(size_t epoch, const Matrix &y_true);
+
+    /**
+     * Corrupt the actuator command for @p epoch: returns the settings
+     * the hardware will actually apply. Call once per epoch, before
+     * the plant step.
+     */
+    KnobSettings corruptActuators(size_t epoch,
+                                  const KnobSettings &requested);
+
+    /** Restart the schedule from the seed. */
+    void reset();
+
+    const FaultInjectorStats &stats() const { return stats_; }
+    const FaultScheduleConfig &config() const { return config_; }
+
+  private:
+    struct SensorChannel
+    {
+        SensorFaultKind active = SensorFaultKind::None;
+        size_t remaining = 0;
+        double stuckValue = 0.0;
+        double driftBias = 0.0;    //!< Accumulated relative bias.
+        double driftStep = 0.0;    //!< Signed per-epoch increment.
+        bool spikeUp = false;
+        bool nonFiniteInf = false; //!< Inf instead of NaN.
+    };
+
+    struct ActuatorState
+    {
+        ActuatorFaultKind active = ActuatorFaultKind::None;
+        size_t remaining = 0;
+        unsigned heldFreqLevel = 0;
+        unsigned stuckCacheSetting = 0;
+        bool haveApplied = false;
+        KnobSettings lastApplied{};
+    };
+
+    SensorFaultKind pickSensorKind();
+    ActuatorFaultKind pickActuatorKind();
+    void startSensorFault(SensorChannel &ch, double current_value);
+
+    FaultScheduleConfig config_;
+    Rng rng_;
+    std::vector<SensorChannel> sensors_;
+    ActuatorState actuator_;
+    FaultInjectorStats stats_;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Plant decorator that routes every epoch through a FaultInjector:
+ * actuator commands are corrupted before the hardware sees them,
+ * sensor readings are corrupted before the controller sees them. The
+ * wrapped plant's truth is preserved in lastTrueOutputs() so the
+ * harness can score *true* tracking error while the controller fights
+ * the corrupted view.
+ */
+
+#pragma once
+
+#include "core/plant.hpp"
+#include "robustness/fault_injector.hpp"
+
+namespace mimoarch {
+
+/** A Plant whose sensor and actuator paths pass through faults. */
+class FaultyPlant : public Plant
+{
+  public:
+    /** @param inner the honest plant (not owned). */
+    FaultyPlant(Plant &inner, const FaultScheduleConfig &config)
+        : inner_(inner), injector_(config)
+    {}
+
+    const KnobSpace &knobs() const override { return inner_.knobs(); }
+
+    Matrix
+    step(const KnobSettings &settings) override
+    {
+        const KnobSettings applied =
+            injector_.corruptActuators(epoch_, settings);
+        trueY_ = inner_.step(applied);
+        const Matrix corrupted =
+            injector_.corruptSensors(epoch_, trueY_);
+        ++epoch_;
+        return corrupted;
+    }
+
+    Matrix lastTrueOutputs() const override { return trueY_; }
+
+    KnobSettings
+    currentSettings() const override
+    {
+        return inner_.currentSettings();
+    }
+
+    double lastL2Mpki() const override { return inner_.lastL2Mpki(); }
+    double lastIpc() const override { return inner_.lastIpc(); }
+
+    double
+    lastEnergyJoules() const override
+    {
+        return inner_.lastEnergyJoules();
+    }
+
+    double
+    totalEnergyJoules() const override
+    {
+        return inner_.totalEnergyJoules();
+    }
+
+    double elapsedSeconds() const override { return inner_.elapsedSeconds(); }
+
+    double
+    totalInstructionsB() const override
+    {
+        return inner_.totalInstructionsB();
+    }
+
+    FaultInjector &injector() { return injector_; }
+    const FaultInjector &injector() const { return injector_; }
+
+    /** Epochs stepped so far (the injector's schedule position). */
+    size_t epoch() const { return epoch_; }
+
+  private:
+    Plant &inner_;
+    FaultInjector injector_;
+    Matrix trueY_;
+    size_t epoch_ = 0;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,141 @@
+#include "robustness/sanitizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+SensorSanitizer::SensorSanitizer(const SensorSanitizerConfig &config)
+    : config_(config)
+{
+    if (config_.lo.size() != config_.hi.size() || config_.lo.empty())
+        fatal("SensorSanitizer: need matching per-channel bounds");
+    for (size_t c = 0; c < config_.lo.size(); ++c) {
+        if (!(config_.lo[c] < config_.hi[c]))
+            fatal("SensorSanitizer: empty range for channel ", c);
+    }
+    channels_.resize(config_.lo.size());
+}
+
+SensorSanitizerConfig
+SensorSanitizer::archDefaults()
+{
+    // Plausibility envelope for the [IPS (BIPS), power (W)] outputs of
+    // the simulated substrate: well outside anything the plant can do,
+    // well inside what a corrupt sample looks like.
+    SensorSanitizerConfig cfg;
+    cfg.lo = {0.01, 0.05};
+    cfg.hi = {8.0, 15.0};
+    return cfg;
+}
+
+void
+SensorSanitizer::reset()
+{
+    channels_.assign(config_.lo.size(), Channel{});
+    lastEpochClean_ = true;
+}
+
+bool
+SensorSanitizer::anyChannelStuck() const
+{
+    for (const Channel &ch : channels_) {
+        if (ch.identicalRepeats >= config_.stuckRepeats)
+            return true;
+    }
+    return false;
+}
+
+void
+SensorSanitizer::accept(Channel &ch, double v)
+{
+    ch.history[0] = ch.history[1];
+    ch.history[1] = ch.history[2];
+    ch.history[2] = v;
+    ++ch.seen;
+    ch.lastGood = v;
+    ch.consecutiveHolds = 0;
+}
+
+double
+SensorSanitizer::sanitizeChannel(size_t c, double v)
+{
+    Channel &ch = channels_[c];
+
+    // 1. Finiteness: a NaN/Inf sample carries no information at all —
+    // hold the last good value (or the range midpoint on a cold start).
+    if (!std::isfinite(v)) {
+        ++stats_.nonFinite;
+        ++stats_.holds;
+        ++ch.consecutiveHolds;
+        lastEpochClean_ = false;
+        return ch.seen ? ch.lastGood
+                       : 0.5 * (config_.lo[c] + config_.hi[c]);
+    }
+
+    // 4. Stuck detection runs on the *raw* stream: genuinely noisy
+    // sensors never repeat exactly, so long runs of identical raw
+    // values flag a frozen sensor to the supervisor.
+    if (ch.seen > 0 && std::abs(v - ch.lastRaw) <= config_.stuckEpsilon)
+        ++ch.identicalRepeats;
+    else
+        ch.identicalRepeats = 0;
+    ch.lastRaw = v;
+    if (ch.identicalRepeats >= config_.stuckRepeats) {
+        ++stats_.stuckSuspected;
+        lastEpochClean_ = false;
+    }
+
+    // 2. Physical range.
+    if (v < config_.lo[c] || v > config_.hi[c]) {
+        ++stats_.rangeClamps;
+        lastEpochClean_ = false;
+        v = std::clamp(v, config_.lo[c], config_.hi[c]);
+    }
+
+    // 3. Median-of-3 outlier rejection, once there is history.
+    if (ch.seen >= 3) {
+        const double a = ch.history[0], b = ch.history[1],
+                     d = ch.history[2];
+        const double med =
+            std::max(std::min(a, b), std::min(std::max(a, b), d));
+        const double tol = std::max(config_.spikeAbsTol,
+                                    config_.spikeRelTol * std::abs(med));
+        if (std::abs(v - med) > tol) {
+            // 5. Staleness budget: hold for a while, then believe the
+            // sensor again — the "spike" may be a real level change.
+            if (ch.consecutiveHolds < config_.staleBudget) {
+                ++stats_.spikesRejected;
+                ++stats_.holds;
+                ++ch.consecutiveHolds;
+                lastEpochClean_ = false;
+                return ch.lastGood;
+            }
+            ++stats_.staleAccepts;
+            // Re-seed history at the new level so the next epochs are
+            // judged against it instead of the stale median.
+            ch.history[0] = ch.history[1] = ch.history[2] = v;
+        }
+    }
+
+    accept(ch, v);
+    return v;
+}
+
+Matrix
+SensorSanitizer::sanitize(const Matrix &y)
+{
+    if (y.rows() != channels_.size() || y.cols() != 1) {
+        fatal("SensorSanitizer: expected ", channels_.size(),
+              " x 1 measurement, got ", y.rows(), " x ", y.cols());
+    }
+    lastEpochClean_ = true;
+    Matrix clean = y;
+    for (size_t c = 0; c < channels_.size(); ++c)
+        clean[c] = sanitizeChannel(c, y[c]);
+    return clean;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Measurement sanitation in front of the controller.
+ *
+ * The estimator assumes Gaussian sensor noise (§III-A); real sensor
+ * faults are anything but. The sanitizer enforces, per channel:
+ *
+ *   1. finiteness      — NaN/Inf never reaches the estimator;
+ *   2. physical range  — readings are clamped to plausible bounds;
+ *   3. outlier rejection — a reading far from the median of the last
+ *      three accepted values is rejected as a spike;
+ *   4. stuck detection — many consecutive identical readings from a
+ *      noisy sensor mean the sensor is stuck, not the plant;
+ *   5. staleness budget — rejected readings are replaced by the last
+ *      good value, but only for a bounded number of consecutive
+ *      epochs; after that the raw (clamped) reading is accepted so a
+ *      genuine operating-point change is never suppressed forever.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Per-channel sanitation policy. */
+struct SensorSanitizerConfig
+{
+    std::vector<double> lo; //!< Physical floor per channel.
+    std::vector<double> hi; //!< Physical ceiling per channel.
+
+    /** Spike test: reject when |v - median3| exceeds
+     *  max(spikeAbsTol, spikeRelTol * |median3|). */
+    double spikeRelTol = 0.6;
+    double spikeAbsTol = 0.6;
+
+    /** Consecutive epsilon-identical readings that mean "stuck". */
+    unsigned stuckRepeats = 6;
+    double stuckEpsilon = 1e-9;
+
+    /** Max consecutive holds before raw readings are accepted again. */
+    unsigned staleBudget = 8;
+};
+
+/** What the sanitizer did, cumulatively and in the last epoch. */
+struct SensorSanitizerStats
+{
+    unsigned long nonFinite = 0;
+    unsigned long rangeClamps = 0;
+    unsigned long spikesRejected = 0;
+    unsigned long stuckSuspected = 0; //!< Epochs a channel looked stuck.
+    unsigned long holds = 0;          //!< Last-good substitutions.
+    unsigned long staleAccepts = 0;   //!< Budget-exhausted acceptances.
+
+    unsigned long
+    repairs() const
+    {
+        return nonFinite + rangeClamps + spikesRejected + holds;
+    }
+};
+
+/** Streaming sanitizer; one sanitize() call per epoch. */
+class SensorSanitizer
+{
+  public:
+    explicit SensorSanitizer(const SensorSanitizerConfig &config);
+
+    /** Default policy for the [IPS, power] output convention. */
+    static SensorSanitizerConfig archDefaults();
+
+    /** Clean @p y (O x 1); returns a finite, in-range vector. */
+    Matrix sanitize(const Matrix &y);
+
+    /** Forget all history (keeps the policy and the counters). */
+    void reset();
+
+    const SensorSanitizerStats &stats() const { return stats_; }
+
+    /** True when the last sanitize() call changed nothing. */
+    bool lastEpochClean() const { return lastEpochClean_; }
+
+    /** True while any channel currently looks stuck. */
+    bool anyChannelStuck() const;
+
+  private:
+    struct Channel
+    {
+        double history[3] = {0, 0, 0}; //!< Last accepted values.
+        size_t seen = 0;               //!< Accepted count (for warmup).
+        double lastGood = 0.0;
+        double lastRaw = 0.0;
+        unsigned identicalRepeats = 0;
+        unsigned consecutiveHolds = 0;
+    };
+
+    double sanitizeChannel(size_t c, double v);
+    void accept(Channel &ch, double v);
+
+    SensorSanitizerConfig config_;
+    std::vector<Channel> channels_;
+    SensorSanitizerStats stats_;
+    bool lastEpochClean_ = true;
+};
+
+} // namespace mimoarch

@@ -6,6 +6,8 @@
  * intuition), saturation handling, and the overhead claims.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/random.hpp"
@@ -338,6 +340,89 @@ TEST(Lqg, ReferenceChangeRetargets)
     const Matrix y = sim.observe(u);
     EXPECT_NEAR(y[0], -0.5, 1e-2);
     EXPECT_NEAR(y[1], 1.0, 1e-2);
+}
+
+TEST(Lqg, NonFiniteMeasurementIsRejectedNotFatal)
+{
+    const StateSpaceModel plant = coupledPlant();
+    LqgServoController ctrl(plant, defaultWeights2x2(), wideLimits(2));
+    ctrl.setReference(Matrix::vector({1.0, -0.5}));
+
+    SimLoop sim(plant);
+    Matrix u(2, 1);
+    for (int t = 0; t < 50; ++t) {
+        u = ctrl.step(sim.observe(u));
+        sim.advance(u);
+    }
+    const Matrix u_before = u;
+    // A NaN and an Inf sample: the controller must hold its previous
+    // command and keep its state finite, not abort or absorb them.
+    Matrix bad = sim.observe(u);
+    bad[0] = std::numeric_limits<double>::quiet_NaN();
+    u = ctrl.step(bad);
+    EXPECT_EQ(u[0], u_before[0]);
+    EXPECT_EQ(u[1], u_before[1]);
+    bad[0] = std::numeric_limits<double>::infinity();
+    u = ctrl.step(bad);
+    EXPECT_EQ(ctrl.rejectedMeasurements(), 2ul);
+    EXPECT_TRUE(ctrl.stateFinite());
+    // And the loop keeps tracking afterwards.
+    for (int t = 0; t < 200; ++t) {
+        u = ctrl.step(sim.observe(u));
+        sim.advance(u);
+    }
+    const Matrix y = sim.observe(u);
+    EXPECT_NEAR(y[0], 1.0, 1e-2);
+    EXPECT_NEAR(y[1], -0.5, 1e-2);
+}
+
+TEST(Lqg, SpikeRaisesInnovationNorm)
+{
+    const StateSpaceModel plant = coupledPlant();
+    LqgServoController ctrl(plant, defaultWeights2x2(), wideLimits(2));
+    ctrl.setReference(Matrix::vector({1.0, -0.5}));
+
+    SimLoop sim(plant);
+    Matrix u(2, 1);
+    for (int t = 0; t < 100; ++t) {
+        u = ctrl.step(sim.observe(u));
+        sim.advance(u);
+    }
+    const double settled = ctrl.lastInnovationNorm();
+    Matrix spiked = sim.observe(u);
+    spiked[0] *= 8.0; // The injector's default outlier magnitude.
+    ctrl.step(spiked);
+    // The supervisor keys off exactly this signal.
+    EXPECT_GT(ctrl.lastInnovationNorm(), settled + 1.0);
+    EXPECT_TRUE(ctrl.stateFinite());
+}
+
+TEST(Lqg, TryMakeReportsBadWeightsAsError)
+{
+    LqgWeights w;
+    w.outputWeights = {1.0};       // Wrong length for a 2-output plant.
+    w.inputWeights = {0.1, 0.1};
+    const auto made =
+        LqgServoController::tryMake(coupledPlant(), w, wideLimits(2));
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.error().code, ErrorCode::InvalidArgument);
+    EXPECT_FALSE(made.error().message.empty());
+}
+
+TEST(Lqg, TryMakeSucceedsOnAGoodDesign)
+{
+    auto made = LqgServoController::tryMake(
+        coupledPlant(), defaultWeights2x2(), wideLimits(2));
+    ASSERT_TRUE(made.ok());
+    LqgServoController ctrl = made.take();
+    ctrl.setReference(Matrix::vector({1.0, -0.5}));
+    SimLoop sim(coupledPlant());
+    Matrix u(2, 1);
+    for (int t = 0; t < 300; ++t) {
+        u = ctrl.step(sim.observe(u));
+        sim.advance(u);
+    }
+    EXPECT_NEAR(sim.observe(u)[0], 1.0, 1e-3);
 }
 
 } // namespace

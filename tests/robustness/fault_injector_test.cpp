@@ -1,0 +1,217 @@
+/**
+ * @file
+ * FaultInjector tests: seed determinism, schedule adherence, window
+ * gating, and the semantics of each actuator fault class.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "robustness/fault_injector.hpp"
+
+namespace mimoarch {
+namespace {
+
+FaultScheduleConfig
+baseConfig(double sensor_rate, double actuator_rate = 0.0)
+{
+    FaultScheduleConfig f;
+    f.enabled = true;
+    f.sensorFaultRate = sensor_rate;
+    f.actuatorFaultRate = actuator_rate;
+    f.seed = 12345;
+    return f;
+}
+
+Matrix
+cleanSample()
+{
+    return Matrix::vector({2.0, 2.5});
+}
+
+/** Values equal, treating NaN == NaN. */
+bool
+sameReading(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::isnan(a) && std::isnan(b);
+    return a == b;
+}
+
+TEST(FaultInjector, SameSeedReplaysExactly)
+{
+    const FaultScheduleConfig cfg = baseConfig(0.1);
+    FaultInjector first(cfg);
+    FaultInjector second(cfg);
+    for (size_t e = 0; e < 500; ++e) {
+        const Matrix a = first.corruptSensors(e, cleanSample());
+        const Matrix b = second.corruptSensors(e, cleanSample());
+        ASSERT_TRUE(sameReading(a[0], b[0])) << "epoch " << e;
+        ASSERT_TRUE(sameReading(a[1], b[1])) << "epoch " << e;
+    }
+    EXPECT_EQ(first.stats().sensorEvents, second.stats().sensorEvents);
+    EXPECT_EQ(first.stats().corruptedSensorEpochs(),
+              second.stats().corruptedSensorEpochs());
+}
+
+TEST(FaultInjector, ResetReplaysTheSchedule)
+{
+    FaultInjector inj(baseConfig(0.1));
+    std::vector<double> pass1;
+    for (size_t e = 0; e < 300; ++e)
+        pass1.push_back(inj.corruptSensors(e, cleanSample())[0]);
+    inj.reset();
+    EXPECT_EQ(inj.stats().sensorEvents, 0ul);
+    for (size_t e = 0; e < 300; ++e) {
+        const double v = inj.corruptSensors(e, cleanSample())[0];
+        ASSERT_TRUE(sameReading(v, pass1[e])) << "epoch " << e;
+    }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultScheduleConfig cfg = baseConfig(0.2);
+    FaultInjector first(cfg);
+    cfg.seed = 54321;
+    FaultInjector second(cfg);
+    bool differed = false;
+    for (size_t e = 0; e < 500 && !differed; ++e) {
+        differed = !sameReading(first.corruptSensors(e, cleanSample())[0],
+                                second.corruptSensors(e, cleanSample())[0]);
+    }
+    EXPECT_TRUE(differed);
+}
+
+TEST(FaultInjector, DisabledIsTransparent)
+{
+    FaultScheduleConfig cfg = baseConfig(0.5, 0.5);
+    cfg.enabled = false;
+    FaultInjector inj(cfg);
+    KnobSettings s;
+    s.freqLevel = 7;
+    for (size_t e = 0; e < 200; ++e) {
+        EXPECT_EQ(inj.corruptActuators(e, s).freqLevel, 7u);
+        const Matrix y = inj.corruptSensors(e, cleanSample());
+        EXPECT_DOUBLE_EQ(y[0], 2.0);
+        EXPECT_DOUBLE_EQ(y[1], 2.5);
+    }
+    EXPECT_EQ(inj.stats().corruptedSensorEpochs(), 0ul);
+    EXPECT_EQ(inj.stats().actuatorEvents, 0ul);
+}
+
+TEST(FaultInjector, EventCountTracksTheConfiguredRate)
+{
+    // NaN-only faults last one epoch, so every firing draw is an
+    // event: the count is Binomial(channels * epochs, rate).
+    FaultScheduleConfig cfg = baseConfig(0.05);
+    cfg.weightStuckAt = cfg.weightSpike = 0.0;
+    cfg.weightDropout = cfg.weightDrift = 0.0;
+    FaultInjector inj(cfg);
+    const size_t epochs = 2000;
+    for (size_t e = 0; e < epochs; ++e)
+        inj.corruptSensors(e, cleanSample());
+    const double expected = 2.0 * epochs * cfg.sensorFaultRate; // = 200
+    EXPECT_GT(inj.stats().sensorEvents, expected * 0.7);
+    EXPECT_LT(inj.stats().sensorEvents, expected * 1.3);
+    EXPECT_EQ(inj.stats().nonFinite, inj.stats().sensorEvents);
+}
+
+TEST(FaultInjector, WindowGatesWhereFaultsStart)
+{
+    FaultScheduleConfig cfg = baseConfig(1.0);
+    cfg.weightStuckAt = cfg.weightSpike = 0.0;
+    cfg.weightDropout = cfg.weightDrift = 0.0; // 1-epoch NaN faults only
+    cfg.startEpoch = 100;
+    cfg.endEpoch = 200;
+    FaultInjector inj(cfg);
+    for (size_t e = 0; e < 300; ++e) {
+        const Matrix y = inj.corruptSensors(e, cleanSample());
+        const bool corrupted = !std::isfinite(y[0]) || !std::isfinite(y[1]);
+        if (e < 100 || e >= 200)
+            EXPECT_FALSE(corrupted) << "epoch " << e;
+        else
+            EXPECT_TRUE(corrupted) << "epoch " << e;
+    }
+}
+
+TEST(FaultInjector, DroppedTransitionHoldsTheOldLevel)
+{
+    FaultScheduleConfig cfg = baseConfig(0.0, 1.0);
+    cfg.weightLagTransition = cfg.weightStuckCache = 0.0;
+    FaultInjector inj(cfg);
+    KnobSettings s;
+    s.freqLevel = 5;
+    // First epoch establishes lastApplied (no fault can fire yet).
+    EXPECT_EQ(inj.corruptActuators(0, s).freqLevel, 5u);
+    s.freqLevel = 9;
+    // Every later transition is dropped: the old level persists.
+    EXPECT_EQ(inj.corruptActuators(1, s).freqLevel, 5u);
+    EXPECT_EQ(inj.stats().droppedTransitions, 1ul);
+}
+
+TEST(FaultInjector, LaggedTransitionPinsForLagEpochs)
+{
+    FaultScheduleConfig cfg = baseConfig(0.0, 1.0);
+    cfg.weightDropTransition = cfg.weightStuckCache = 0.0;
+    cfg.lagEpochs = 3;
+    FaultInjector inj(cfg);
+    KnobSettings s;
+    s.freqLevel = 5;
+    inj.corruptActuators(0, s);
+    s.freqLevel = 12;
+    for (size_t e = 1; e <= 3; ++e)
+        EXPECT_EQ(inj.corruptActuators(e, s).freqLevel, 5u) << e;
+    EXPECT_EQ(inj.stats().laggedTransitions, 3ul);
+}
+
+TEST(FaultInjector, StuckCachePinsWayGating)
+{
+    FaultScheduleConfig cfg = baseConfig(0.0, 1.0);
+    cfg.weightDropTransition = cfg.weightLagTransition = 0.0;
+    cfg.cacheStuckEpochs = 4;
+    // Only epoch 1 may *start* a fault; the episode itself runs on
+    // past the window, which is exactly what we want to observe.
+    cfg.endEpoch = 2;
+    FaultInjector inj(cfg);
+    KnobSettings s;
+    s.cacheSetting = 1;
+    s.freqLevel = 5;
+    inj.corruptActuators(0, s);
+    s.cacheSetting = 3;
+    s.freqLevel = 9;
+    for (size_t e = 1; e <= 4; ++e) {
+        const KnobSettings applied = inj.corruptActuators(e, s);
+        EXPECT_EQ(applied.cacheSetting, 1u) << e;
+        // Way gating is stuck; DVFS still obeys.
+        EXPECT_EQ(applied.freqLevel, 9u) << e;
+    }
+    // Fault expired: the request goes through.
+    EXPECT_EQ(inj.corruptActuators(5, s).cacheSetting, 3u);
+    EXPECT_EQ(inj.stats().stuckCacheEpochs, 4ul);
+}
+
+TEST(FaultInjector, StuckAtFreezesTheFirstReading)
+{
+    FaultScheduleConfig cfg = baseConfig(1.0);
+    cfg.weightNaN = cfg.weightSpike = 0.0;
+    cfg.weightDropout = cfg.weightDrift = 0.0;
+    cfg.stuckEpochs = 10;
+    FaultInjector inj(cfg);
+    Matrix first = inj.corruptSensors(0, Matrix::vector({2.0, 2.5}));
+    EXPECT_DOUBLE_EQ(first[0], 2.0); // Frozen at its own value.
+    // The plant moves; the reading does not.
+    Matrix later = inj.corruptSensors(1, Matrix::vector({3.0, 3.5}));
+    EXPECT_DOUBLE_EQ(later[0], 2.0);
+    EXPECT_DOUBLE_EQ(later[1], 2.5);
+}
+
+TEST(FaultInjector, OutOfRangeRateIsFatal)
+{
+    FaultScheduleConfig cfg = baseConfig(1.5);
+    EXPECT_EXIT(FaultInjector{cfg}, testing::ExitedWithCode(1),
+                "fault rates");
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * SensorSanitizer tests: one scenario per fault class (non-finite,
+ * out-of-range, spike, stuck, dropout-shaped zeros) plus the staleness
+ * budget that keeps genuine level changes from being suppressed.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "robustness/sanitizer.hpp"
+
+namespace mimoarch {
+namespace {
+
+SensorSanitizerConfig
+oneChannel()
+{
+    SensorSanitizerConfig cfg;
+    cfg.lo = {0.1};
+    cfg.hi = {8.0};
+    return cfg;
+}
+
+double
+feed(SensorSanitizer &s, double v)
+{
+    return s.sanitize(Matrix::vector({v}))[0];
+}
+
+TEST(Sanitizer, CleanStreamPassesThrough)
+{
+    SensorSanitizer s(oneChannel());
+    for (double v : {2.0, 2.1, 1.9, 2.05, 2.0})
+        EXPECT_DOUBLE_EQ(feed(s, v), v);
+    EXPECT_TRUE(s.lastEpochClean());
+    EXPECT_EQ(s.stats().repairs(), 0ul);
+}
+
+TEST(Sanitizer, NanHoldsLastGoodValue)
+{
+    SensorSanitizer s(oneChannel());
+    feed(s, 2.0);
+    feed(s, 2.1);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(feed(s, nan), 2.1);
+    EXPECT_FALSE(s.lastEpochClean());
+    EXPECT_EQ(s.stats().nonFinite, 1ul);
+}
+
+TEST(Sanitizer, InfHoldsLastGoodValue)
+{
+    SensorSanitizer s(oneChannel());
+    feed(s, 2.0);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(feed(s, inf), 2.0);
+    EXPECT_DOUBLE_EQ(feed(s, -inf), 2.0);
+    EXPECT_EQ(s.stats().nonFinite, 2ul);
+}
+
+TEST(Sanitizer, ColdStartNonFiniteFallsToRangeMidpoint)
+{
+    SensorSanitizer s(oneChannel());
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double v = feed(s, nan);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.5 * (0.1 + 8.0));
+}
+
+TEST(Sanitizer, OutOfRangeIsClamped)
+{
+    SensorSanitizerConfig cfg = oneChannel();
+    cfg.spikeAbsTol = 1e9; // Isolate the range check.
+    SensorSanitizer s(cfg);
+    EXPECT_DOUBLE_EQ(feed(s, 100.0), 8.0);
+    EXPECT_DOUBLE_EQ(feed(s, -3.0), 0.1);
+    EXPECT_EQ(s.stats().rangeClamps, 2ul);
+    EXPECT_FALSE(s.lastEpochClean());
+}
+
+TEST(Sanitizer, SpikeIsRejectedInFavourOfLastGood)
+{
+    SensorSanitizer s(oneChannel());
+    for (double v : {2.0, 2.0, 2.0, 2.1})
+        feed(s, v);
+    // An 8x outlier against a median of ~2.0.
+    EXPECT_DOUBLE_EQ(feed(s, 7.9), 2.1);
+    EXPECT_EQ(s.stats().spikesRejected, 1ul);
+    // The stream recovers; normal samples pass again.
+    EXPECT_DOUBLE_EQ(feed(s, 2.05), 2.05);
+}
+
+TEST(Sanitizer, DropoutToZeroIsRepaired)
+{
+    // A dropout reads 0.0 — below the physical floor, so the clamp
+    // plus spike rejection hold the last good value.
+    SensorSanitizer s(oneChannel());
+    for (double v : {2.0, 2.0, 2.0})
+        feed(s, v);
+    EXPECT_DOUBLE_EQ(feed(s, 0.0), 2.0);
+    EXPECT_FALSE(s.lastEpochClean());
+}
+
+TEST(Sanitizer, StaleBudgetAcceptsAGenuineLevelChange)
+{
+    SensorSanitizerConfig cfg = oneChannel();
+    cfg.staleBudget = 4;
+    SensorSanitizer s(cfg);
+    for (double v : {2.0, 2.0, 2.0})
+        feed(s, v);
+    // The operating point genuinely moves to 6.0. The first holds look
+    // like spike rejection...
+    for (unsigned i = 0; i < cfg.staleBudget; ++i)
+        EXPECT_DOUBLE_EQ(feed(s, 6.0), 2.0) << i;
+    // ...but the budget runs out and the new level is believed.
+    EXPECT_DOUBLE_EQ(feed(s, 6.0), 6.0);
+    EXPECT_GE(s.stats().staleAccepts, 1ul);
+    // And it is now the baseline: no more rejections at 6.
+    EXPECT_DOUBLE_EQ(feed(s, 6.1), 6.1);
+    EXPECT_TRUE(s.lastEpochClean());
+}
+
+TEST(Sanitizer, StuckChannelIsFlagged)
+{
+    SensorSanitizerConfig cfg = oneChannel();
+    cfg.stuckRepeats = 4;
+    SensorSanitizer s(cfg);
+    feed(s, 2.0);
+    EXPECT_FALSE(s.anyChannelStuck());
+    for (int i = 0; i < 4; ++i)
+        feed(s, 2.0);
+    EXPECT_TRUE(s.anyChannelStuck());
+    EXPECT_GE(s.stats().stuckSuspected, 1ul);
+    // A changing reading clears the flag.
+    feed(s, 2.3);
+    EXPECT_FALSE(s.anyChannelStuck());
+}
+
+TEST(Sanitizer, ResetForgetsHistoryButKeepsCounters)
+{
+    SensorSanitizer s(oneChannel());
+    feed(s, 2.0);
+    feed(s, std::numeric_limits<double>::quiet_NaN());
+    const unsigned long repaired = s.stats().repairs();
+    EXPECT_GT(repaired, 0ul);
+    s.reset();
+    EXPECT_EQ(s.stats().repairs(), repaired);
+    // Cold start again: NaN falls to the midpoint, not to 2.0.
+    const double v = feed(s, std::numeric_limits<double>::quiet_NaN());
+    EXPECT_DOUBLE_EQ(v, 0.5 * (0.1 + 8.0));
+}
+
+TEST(Sanitizer, ArchDefaultsCoverBothOutputs)
+{
+    SensorSanitizer s(SensorSanitizer::archDefaults());
+    const Matrix y = s.sanitize(Matrix::vector({2.0, 2.5}));
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 2.5);
+}
+
+TEST(Sanitizer, MismatchedBoundsAreFatal)
+{
+    SensorSanitizerConfig cfg;
+    cfg.lo = {0.0, 1.0};
+    cfg.hi = {5.0};
+    EXPECT_EXIT(SensorSanitizer{cfg}, testing::ExitedWithCode(1),
+                "bounds");
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * LoopSupervisor ladder tests: immediate demotion on each trigger
+ * class, the reset budget, probation-based re-promotion, and the
+ * backoff that stops tier thrash. SupervisedController is exercised
+ * on the synthetic MIMO model from the controllers tests.
+ */
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "robustness/supervisor.hpp"
+
+namespace mimoarch {
+namespace {
+
+LoopSupervisorConfig
+smallConfig()
+{
+    LoopSupervisorConfig cfg;
+    cfg.innovationLimit = 5.0;
+    cfg.innovationWindow = 3;
+    cfg.trackingErrorLimit = 0.75;
+    cfg.trackingWindow = 5;
+    cfg.maxResets = 2;
+    cfg.resetMemory = 100;
+    cfg.probationEpochs = 10;
+    cfg.healthyErrorLimit = 0.35;
+    cfg.probationBackoff = 2.0;
+    cfg.probationMax = 40;
+    return cfg;
+}
+
+SupervisorSignals
+healthySignals()
+{
+    SupervisorSignals s;
+    s.innovationNorm = 0.5;
+    s.stateFinite = true;
+    s.relTrackingError = 0.1;
+    return s;
+}
+
+SupervisorSignals
+badInnovation()
+{
+    SupervisorSignals s = healthySignals();
+    s.innovationNorm = 50.0;
+    return s;
+}
+
+SupervisorSignals
+runawayTracking()
+{
+    SupervisorSignals s = healthySignals();
+    s.relTrackingError = 2.0;
+    return s;
+}
+
+/** Drive to Fallback: exhaust the reset budget with bad innovations. */
+void
+driveToFallback(LoopSupervisor &sup)
+{
+    while (sup.tier() != DegradationTier::Fallback)
+        sup.evaluate(badInnovation());
+}
+
+TEST(Supervisor, HealthySignalsStayNominal)
+{
+    LoopSupervisor sup(smallConfig());
+    for (int i = 0; i < 500; ++i) {
+        const SupervisorDecision d = sup.evaluate(healthySignals());
+        EXPECT_EQ(d.tier, DegradationTier::Nominal);
+        EXPECT_FALSE(d.resetEstimator);
+    }
+    EXPECT_EQ(sup.estimatorResets(), 0ul);
+}
+
+TEST(Supervisor, NonFiniteStateResetsImmediately)
+{
+    LoopSupervisor sup(smallConfig());
+    SupervisorSignals s = healthySignals();
+    s.stateFinite = false;
+    const SupervisorDecision d = sup.evaluate(s);
+    EXPECT_TRUE(d.resetEstimator);
+    EXPECT_EQ(d.tier, DegradationTier::Reset);
+    EXPECT_EQ(sup.estimatorResets(), 1ul);
+}
+
+TEST(Supervisor, InnovationStreakTriggersReset)
+{
+    LoopSupervisor sup(smallConfig());
+    // Two bad epochs: below the window, no action.
+    EXPECT_FALSE(sup.evaluate(badInnovation()).resetEstimator);
+    EXPECT_FALSE(sup.evaluate(badInnovation()).resetEstimator);
+    // Third consecutive: reset.
+    EXPECT_TRUE(sup.evaluate(badInnovation()).resetEstimator);
+    // An isolated bad innovation never trips it.
+    sup.reset();
+    for (int i = 0; i < 50; ++i) {
+        sup.evaluate(badInnovation());
+        sup.evaluate(healthySignals());
+        sup.evaluate(healthySignals());
+    }
+    EXPECT_EQ(sup.estimatorResets(), 0ul);
+}
+
+TEST(Supervisor, ResetBudgetExhaustionFallsBack)
+{
+    LoopSupervisor sup(smallConfig());
+    // maxResets = 2: two resets are granted, the third trigger demotes.
+    unsigned evals = 0;
+    while (sup.tier() != DegradationTier::Fallback && evals < 1000) {
+        sup.evaluate(badInnovation());
+        ++evals;
+    }
+    EXPECT_EQ(sup.tier(), DegradationTier::Fallback);
+    EXPECT_EQ(sup.estimatorResets(), 2ul);
+    EXPECT_EQ(sup.fallbackEntries(), 1ul);
+}
+
+TEST(Supervisor, TrackingRunawayEndsInSafePin)
+{
+    LoopSupervisor sup(smallConfig());
+    // Sustained runaway: reset first, then fallback, then safe pin.
+    for (int i = 0; i < 200 && sup.tier() != DegradationTier::SafePin;
+         ++i) {
+        sup.evaluate(runawayTracking());
+    }
+    EXPECT_EQ(sup.tier(), DegradationTier::SafePin);
+    EXPECT_GE(sup.estimatorResets(), 1ul);
+    EXPECT_EQ(sup.fallbackEntries(), 1ul);
+    EXPECT_EQ(sup.safePins(), 1ul);
+}
+
+TEST(Supervisor, ProbationEarnsRepromotion)
+{
+    LoopSupervisor sup(smallConfig());
+    driveToFallback(sup);
+    // probation doubled once by the demotion backoff: 10 -> 20.
+    SupervisorDecision d;
+    for (int i = 0; i < 19; ++i) {
+        d = sup.evaluate(healthySignals());
+        EXPECT_EQ(d.tier, DegradationTier::Fallback) << i;
+    }
+    d = sup.evaluate(healthySignals());
+    EXPECT_EQ(d.tier, DegradationTier::Nominal);
+    EXPECT_TRUE(d.promoted);
+    EXPECT_TRUE(d.resetEstimator);
+    EXPECT_EQ(sup.repromotions(), 1ul);
+}
+
+TEST(Supervisor, UnhealthyEpochsRestartProbation)
+{
+    LoopSupervisor sup(smallConfig());
+    driveToFallback(sup);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 15; ++i)
+            sup.evaluate(healthySignals());
+        // One unhealthy epoch voids the accumulated streak.
+        SupervisorSignals bad = healthySignals();
+        bad.relTrackingError = 0.5; // above healthyErrorLimit
+        sup.evaluate(bad);
+    }
+    EXPECT_EQ(sup.tier(), DegradationTier::Fallback);
+    EXPECT_EQ(sup.repromotions(), 0ul);
+}
+
+TEST(Supervisor, BackoffLengthensEachQuarantine)
+{
+    LoopSupervisor sup(smallConfig());
+    driveToFallback(sup); // probation now 20
+    unsigned first = 0;
+    while (sup.tier() == DegradationTier::Fallback) {
+        sup.evaluate(healthySignals());
+        ++first;
+    }
+    // Fault returns: demoted again, probation doubles to 40.
+    driveToFallback(sup);
+    unsigned second = 0;
+    while (sup.tier() == DegradationTier::Fallback) {
+        sup.evaluate(healthySignals());
+        ++second;
+    }
+    EXPECT_GT(second, first);
+    EXPECT_EQ(sup.repromotions(), 2ul);
+}
+
+TEST(Supervisor, SafePinServesTimeThenReturnsToFallback)
+{
+    LoopSupervisor sup(smallConfig());
+    for (int i = 0; i < 200 && sup.tier() != DegradationTier::SafePin;
+         ++i) {
+        sup.evaluate(runawayTracking());
+    }
+    ASSERT_EQ(sup.tier(), DegradationTier::SafePin);
+    // Quiet sensors: time-served probation promotes back to Fallback.
+    int epochs = 0;
+    while (sup.tier() == DegradationTier::SafePin && epochs < 1000) {
+        sup.evaluate(healthySignals());
+        ++epochs;
+    }
+    EXPECT_EQ(sup.tier(), DegradationTier::Fallback);
+    // Noisy sensors would have stalled the clock.
+    EXPECT_GE(epochs, 10);
+}
+
+TEST(Supervisor, LongStuckSensorFallsBack)
+{
+    LoopSupervisorConfig cfg = smallConfig();
+    cfg.stuckWindow = 8;
+    LoopSupervisor sup(cfg);
+    SupervisorSignals s = healthySignals();
+    s.sensorStuck = true;
+    // Shorter-than-window stuck episodes are tolerated...
+    for (int episode = 0; episode < 5; ++episode) {
+        for (int i = 0; i < 7; ++i)
+            sup.evaluate(s);
+        sup.evaluate(healthySignals());
+    }
+    EXPECT_EQ(sup.tier(), DegradationTier::Nominal);
+    // ...a persistent freeze is not.
+    SupervisorDecision d;
+    for (int i = 0; i < 8; ++i)
+        d = sup.evaluate(s);
+    EXPECT_EQ(d.tier, DegradationTier::Fallback);
+    EXPECT_TRUE(d.enteredFallback);
+}
+
+TEST(Supervisor, StuckSensorBlocksPromotion)
+{
+    LoopSupervisor sup(smallConfig());
+    driveToFallback(sup);
+    SupervisorSignals s = healthySignals();
+    s.sensorStuck = true;
+    for (int i = 0; i < 200; ++i)
+        sup.evaluate(s);
+    EXPECT_EQ(sup.tier(), DegradationTier::Fallback);
+}
+
+} // namespace
+} // namespace mimoarch
