@@ -1,14 +1,22 @@
 /**
  * @file
- * Shared plumbing for the figure-reproduction benches: one cached MIMO
- * design per knob space, standard run helpers, and table printing.
- * Every bench prints the series the paper's figure reports and writes
- * the same rows as CSV next to the binary.
+ * Shared plumbing for the figure-reproduction benches: the process-wide
+ * DesignCache for the expensive design-flow products, the standard
+ * sweep entry point (--jobs N), and common run parameters. Every bench
+ * prints the series the paper's figure reports and writes the same
+ * rows as CSV next to the binary.
+ *
+ * Output discipline: benches shard per-app jobs across a SweepRunner,
+ * collect each job's results into its own slot, and emit stdout/CSV
+ * rows in figure order only after the rows are final — never
+ * interleaved as jobs complete. Progress ticks go to stderr. See
+ * src/exec/sweep.hpp for the determinism contract this relies on.
  */
 
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +24,8 @@
 #include "core/design_flow.hpp"
 #include "core/harness.hpp"
 #include "core/heuristic_search.hpp"
+#include "exec/design_cache.hpp"
+#include "exec/sweep.hpp"
 #include "workload/spec_suite.hpp"
 
 namespace mimoarch::bench {
@@ -30,25 +40,32 @@ benchConfig()
     return cfg;
 }
 
-/** Design the MIMO controller once per process and knob space. */
-inline const MimoDesignResult &
+/**
+ * The memoized MIMO design for the bench configuration. The first
+ * caller in the process pays for the system-identification flow; every
+ * later call (any thread) shares the immutable result.
+ */
+inline std::shared_ptr<const MimoDesignResult>
 cachedDesign(bool with_rob)
 {
-    const auto make = [](bool rob) {
-        KnobSpace knobs(rob);
-        MimoControllerDesign flow(knobs, benchConfig());
-        std::printf("# designing %d-input MIMO controller "
-                    "(system identification on the training set)...\n",
-                    rob ? 3 : 2);
-        return flow.design(Spec2006Suite::trainingSet(),
-                           Spec2006Suite::validationSet());
-    };
-    if (with_rob) {
-        static const MimoDesignResult cache3 = make(true);
-        return cache3;
-    }
-    static const MimoDesignResult cache2 = make(false);
-    return cache2;
+    const KnobSpace knobs(with_rob);
+    return exec::DesignCache::instance().design(knobs, benchConfig());
+}
+
+/** The memoized SISO models behind the Decoupled architecture. */
+inline std::shared_ptr<const exec::SisoModels>
+cachedSisoModels()
+{
+    return exec::DesignCache::instance().sisoModels(benchConfig());
+}
+
+/** Parse bench argv (--jobs N) into sweep options with progress on. */
+inline exec::SweepOptions
+benchSweepOptions(int argc, char **argv)
+{
+    exec::SweepOptions opt = exec::parseSweepArgs(argc, argv);
+    opt.progress = true;
+    return opt;
 }
 
 /** The paper's initial condition for tracking runs: 20%/30% off. */
@@ -83,11 +100,7 @@ banner(const std::string &title)
 inline std::vector<std::string>
 figureAppOrder()
 {
-    return {"astar",   "bzip2",   "gcc",      "hmmer",  "h264ref",
-            "libquantum", "mcf",  "omnetpp",  "perlbench", "Xalan",
-            "bwaves",  "cactusADM", "dealII", "gamess", "gromacs",
-            "GemsFDTD", "lbm",    "milc",     "povray", "soplex",
-            "sphinx3", "tonto",   "wrf"};
+    return Spec2006Suite::figureOrder();
 }
 
 } // namespace mimoarch::bench

@@ -17,6 +17,8 @@
  *            drops, convergence is faster.
  *   Size   — like Power with a 10x lower cache-size weight: the cache
  *            settles fastest, output errors unchanged.
+ *
+ * One job per weight set, sharded with --jobs N.
  */
 
 #include <cmath>
@@ -39,12 +41,12 @@ struct WeightSet
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exec::SweepRunner runner(benchSweepOptions(argc, argv));
     banner("Fig. 6: weight sensitivity (namd, track IPS/power refs)");
     const ExperimentConfig cfg = benchConfig();
-    const MimoDesignResult &design = cachedDesign(false);
-    KnobSpace knobs(false);
+    const auto design = cachedDesign(false);
 
     const std::vector<WeightSet> sets = {
         {"Equal", 100.0, 1.0, 1.0},
@@ -53,53 +55,60 @@ main()
         {"Size", 1.0, 0.1, 1000.0},
     };
 
+    const std::vector<RunSummary> rows = runner.map<RunSummary>(
+        sets.size(), [&](size_t i) {
+            const WeightSet &ws = sets[i];
+            const KnobSpace knobs(false);
+            LqgWeights w = design->weights;
+            w.outputWeights = {cfg.ipsWeight,
+                               cfg.ipsWeight * ws.powerOverIps};
+            w.inputWeights[0] = cfg.freqWeight * cfg.inputWeightScale *
+                ws.inputMult;
+            w.inputWeights[1] = cfg.cacheWeight * cfg.inputWeightScale *
+                ws.inputMult * ws.cacheMult;
+            MimoArchController ctrl(design->model, w, knobs);
+            ctrl.setReference(cfg.ipsReference, cfg.powerReference);
+
+            SimPlant plant(Spec2006Suite::byName("namd"), knobs);
+            DriverConfig dcfg;
+            dcfg.epochs = 2500;
+            dcfg.errorSkipEpochs = 300;
+            EpochDriver driver(plant, ctrl, dcfg);
+            RunSummary sum = driver.run(offTargetStart());
+
+            // "Steady state" means settling *at the targets*: a
+            // controller frozen at its initial conditions has stable
+            // knobs but has not converged (the paper's Equal datapoint
+            // is missing for this reason).
+            const EpochTrace &tr = driver.trace();
+            double late_err = 0.0;
+            const size_t tail = 400;
+            for (size_t t = tr.ips.size() - tail; t < tr.ips.size();
+                 ++t) {
+                late_err += std::abs(tr.ips[t] - cfg.ipsReference) /
+                    cfg.ipsReference;
+                late_err += std::abs(tr.power[t] - cfg.powerReference) /
+                    cfg.powerReference;
+            }
+            late_err /= 2.0 * tail;
+            if (late_err > 0.25) {
+                sum.steadyEpochFreq = -1;
+                sum.steadyEpochCache = -1;
+            }
+            return sum;
+        });
+
     CsvTable table({"weights", "steady_epoch_freq", "steady_epoch_cache",
                     "avg_ips_err_pct", "avg_power_err_pct"});
     std::printf("%-8s %12s %13s %12s %12s   (-1 = not converged)\n",
                 "weights", "steadyFreq", "steadyCache", "IPSerr(%)",
                 "Perr(%)");
-
-    for (const WeightSet &ws : sets) {
-        LqgWeights w = design.weights;
-        w.outputWeights = {cfg.ipsWeight,
-                           cfg.ipsWeight * ws.powerOverIps};
-        w.inputWeights[0] = cfg.freqWeight * cfg.inputWeightScale *
-            ws.inputMult;
-        w.inputWeights[1] = cfg.cacheWeight * cfg.inputWeightScale *
-            ws.inputMult * ws.cacheMult;
-        MimoArchController ctrl(design.model, w, knobs);
-        ctrl.setReference(cfg.ipsReference, cfg.powerReference);
-
-        SimPlant plant(Spec2006Suite::byName("namd"), knobs);
-        DriverConfig dcfg;
-        dcfg.epochs = 2500;
-        dcfg.errorSkipEpochs = 300;
-        EpochDriver driver(plant, ctrl, dcfg);
-        RunSummary sum = driver.run(offTargetStart());
-
-        // "Steady state" means settling *at the targets*: a controller
-        // frozen at its initial conditions has stable knobs but has not
-        // converged (the paper's Equal datapoint is missing for this
-        // reason).
-        const EpochTrace &tr = driver.trace();
-        double late_err = 0.0;
-        const size_t tail = 400;
-        for (size_t t = tr.ips.size() - tail; t < tr.ips.size(); ++t) {
-            late_err += std::abs(tr.ips[t] - cfg.ipsReference) /
-                cfg.ipsReference;
-            late_err += std::abs(tr.power[t] - cfg.powerReference) /
-                cfg.powerReference;
-        }
-        late_err /= 2.0 * tail;
-        if (late_err > 0.25) {
-            sum.steadyEpochFreq = -1;
-            sum.steadyEpochCache = -1;
-        }
-
-        std::printf("%-8s %12ld %13ld %12.1f %12.1f\n", ws.label,
+    for (size_t i = 0; i < sets.size(); ++i) {
+        const RunSummary &sum = rows[i];
+        std::printf("%-8s %12ld %13ld %12.1f %12.1f\n", sets[i].label,
                     sum.steadyEpochFreq, sum.steadyEpochCache,
                     sum.avgIpsErrorPct, sum.avgPowerErrorPct);
-        table.addRow({ws.label, std::to_string(sum.steadyEpochFreq),
+        table.addRow({sets[i].label, std::to_string(sum.steadyEpochFreq),
                       std::to_string(sum.steadyEpochCache),
                       formatCell(sum.avgIpsErrorPct),
                       formatCell(sum.avgPowerErrorPct)});

@@ -4,6 +4,11 @@
  * as a function of the model dimension (2, 4, 6, 8). The identification
  * data is collected once; each dimension refits and is validated on the
  * held-out applications (h264ref, tonto).
+ *
+ * Record collection is one job per application (training + validation
+ * pools), and each dimension's fit + validation is one job, sharded
+ * with --jobs N. Excitation seeds derive from (purpose, app) so every
+ * app's waveform is stable regardless of pool composition or schedule.
  */
 
 #include "bench_common.hpp"
@@ -14,30 +19,46 @@ using namespace mimoarch;
 using namespace mimoarch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exec::SweepRunner runner(benchSweepOptions(argc, argv));
     banner("Fig. 7: model prediction error vs model dimension");
     const ExperimentConfig cfg = benchConfig();
-    KnobSpace knobs(false);
-    MimoControllerDesign flow(knobs, cfg);
+    const KnobSpace knobs(false);
+    const MimoControllerDesign flow(knobs, cfg);
 
-    // Collect identification and validation records once.
-    std::vector<SysIdRecord> train_recs;
-    uint64_t seed = 1000;
-    for (const AppSpec &app : Spec2006Suite::trainingSet()) {
-        SimPlant plant(app, knobs);
-        train_recs.push_back(
-            flow.collectRecord(plant, cfg.sysidEpochsPerApp, seed++));
-    }
+    // Collect identification and validation records, one job per app.
+    const std::vector<AppSpec> train_apps = Spec2006Suite::trainingSet();
+    const std::vector<AppSpec> val_apps = Spec2006Suite::validationSet();
+    const size_t n_train = train_apps.size();
+
+    const std::vector<SysIdRecord> records = runner.map<SysIdRecord>(
+        n_train + val_apps.size(), [&](size_t i) {
+            if (i < n_train) {
+                const AppSpec &app = train_apps[i];
+                SimPlant plant(app, knobs);
+                return flow.collectRecord(plant, cfg.sysidEpochsPerApp,
+                                          sysidSeed("fig07-train",
+                                                    app.name));
+            }
+            const AppSpec &app = val_apps[i - n_train];
+            SimPlant plant(app, knobs, {}, /*seed_salt=*/17);
+            return flow.collectRecord(plant, cfg.validationEpochsPerApp,
+                                      sysidSeed("fig07-validate",
+                                                app.name));
+        });
+
+    const std::vector<SysIdRecord> train_recs(records.begin(),
+                                              records.begin() +
+                                                  static_cast<long>(
+                                                      n_train));
+    const std::vector<SysIdRecord> val_recs(records.begin() +
+                                                static_cast<long>(
+                                                    n_train),
+                                            records.end());
     const SysIdRecord train = MimoControllerDesign::concatenate(
         MimoControllerDesign::alignOperatingPoints(train_recs));
 
-    std::vector<SysIdRecord> val_recs;
-    for (const AppSpec &app : Spec2006Suite::validationSet()) {
-        SimPlant plant(app, knobs, {}, /*seed_salt=*/17);
-        val_recs.push_back(flow.collectRecord(
-            plant, cfg.validationEpochsPerApp, seed++));
-    }
     // Align the validation apps' operating points the same way the
     // training pool was aligned, then shift onto the training mean, so
     // the reported error measures the *dynamic* model quality rather
@@ -67,21 +88,27 @@ main()
     const SysIdRecord val =
         MimoControllerDesign::concatenate(val_aligned);
 
+    const std::vector<size_t> dims = {2, 4, 6, 8};
+    const std::vector<ValidationReport> reports =
+        runner.map<ValidationReport>(dims.size(), [&](size_t i) {
+            ArxConfig acfg;
+            acfg.order = (dims[i] + 1) / 2;
+            const StateSpaceModel model =
+                identify(train.u, train.y, acfg);
+            return validateModel(model, val.u, val.y);
+        });
+
     CsvTable table({"dimension", "max_err_ips_pct", "max_err_power_pct",
                     "mean_err_ips_pct", "mean_err_power_pct"});
     std::printf("%-10s %12s %12s %12s %12s\n", "dimension", "maxIPS(%)",
                 "maxP(%)", "meanIPS(%)", "meanP(%)");
-
-    for (size_t dim : {2u, 4u, 6u, 8u}) {
-        ArxConfig acfg;
-        acfg.order = (dim + 1) / 2;
-        const StateSpaceModel model = identify(train.u, train.y, acfg);
-        const ValidationReport rep = validateModel(model, val.u, val.y);
-        std::printf("%-10zu %12.1f %12.1f %12.1f %12.1f\n", dim,
+    for (size_t i = 0; i < dims.size(); ++i) {
+        const ValidationReport &rep = reports[i];
+        std::printf("%-10zu %12.1f %12.1f %12.1f %12.1f\n", dims[i],
                     100 * rep.maxRelError[0], 100 * rep.maxRelError[1],
                     100 * rep.meanRelError[0],
                     100 * rep.meanRelError[1]);
-        table.addRow({std::to_string(dim),
+        table.addRow({std::to_string(dims[i]),
                       formatCell(100 * rep.maxRelError[0]),
                       formatCell(100 * rep.maxRelError[1]),
                       formatCell(100 * rep.meanRelError[0]),

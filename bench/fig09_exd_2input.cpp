@@ -5,6 +5,8 @@
  * Baseline (fixed best-static configuration), MIMO + optimizer,
  * Heuristic (knob-space search), and Decoupled + optimizer; the bench
  * prints per-app E x D normalized to Baseline and the averages.
+ *
+ * One job per application (4 runs each), sharded with --jobs N.
  */
 
 #include "bench_common.hpp"
@@ -13,58 +15,71 @@ using namespace mimoarch;
 using namespace mimoarch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exec::SweepRunner runner(benchSweepOptions(argc, argv));
     banner("Fig. 9: E x D minimization, 2 inputs (normalized to Baseline)");
     const ExperimentConfig cfg = benchConfig();
-    const MimoDesignResult &design = cachedDesign(false);
-    KnobSpace knobs(false);
-    MimoControllerDesign flow(knobs, cfg);
+    const auto design = cachedDesign(false);
+    const auto siso = cachedSisoModels();
+    const auto apps = figureAppOrder();
 
-    auto mimo = flow.buildController(design);
-    auto [c2i, f2p] = flow.identifySisoModels(Spec2006Suite::trainingSet());
-    auto decoupled = flow.buildDecoupled(c2i, f2p);
-    HeuristicSearchConfig hcfg;
-    hcfg.metricExponent = 2;
-    HeuristicSearchController heuristic(knobs, hcfg);
+    const size_t epochs = 2000;
+    struct Row
+    {
+        double ratios[3] = {0, 0, 0};
+    };
+    const std::vector<Row> rows = runner.map<Row>(
+        apps.size(), [&](size_t i) {
+            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+            const KnobSpace knobs(false);
+            const MimoControllerDesign flow(knobs, cfg);
+
+            SimPlant pb(app, knobs);
+            FixedController fixed(baselineSettings());
+            DriverConfig bcfg;
+            bcfg.epochs = epochs;
+            EpochDriver bd(pb, fixed, bcfg);
+            const double base = bd.run(baselineSettings()).exdMetric(2);
+
+            auto mimo = flow.buildController(*design);
+            HeuristicSearchConfig hcfg;
+            hcfg.metricExponent = 2;
+            HeuristicSearchController heuristic(knobs, hcfg);
+            auto decoupled = flow.buildDecoupled(siso->cacheToIps,
+                                                 siso->freqToPower);
+
+            Row row;
+            ArchController *ctrls[3] = {mimo.get(), &heuristic,
+                                        decoupled.get()};
+            for (int a = 0; a < 3; ++a) {
+                SimPlant plant(app, knobs);
+                DriverConfig dcfg;
+                dcfg.epochs = epochs;
+                dcfg.useOptimizer = a != 1; // heuristic searches itself
+                dcfg.optimizer.metricExponent = 2;
+                EpochDriver driver(plant, *ctrls[a], dcfg);
+                const RunSummary sum = driver.run(baselineSettings());
+                row.ratios[a] = sum.exdMetric(2) / base;
+            }
+            return row;
+        });
 
     CsvTable table({"app", "mimo", "heuristic", "decoupled"});
     std::printf("%-11s %10s %10s %10s\n", "app", "MIMO", "Heuristic",
                 "Decoupled");
-
-    const size_t epochs = 2000;
     double sums[3] = {0, 0, 0};
-    int n = 0;
-    for (const std::string &name : figureAppOrder()) {
-        const AppSpec &app = Spec2006Suite::byName(name);
-
-        SimPlant pb(app, knobs);
-        FixedController fixed(baselineSettings());
-        DriverConfig bcfg;
-        bcfg.epochs = epochs;
-        EpochDriver bd(pb, fixed, bcfg);
-        const double base = bd.run(baselineSettings()).exdMetric(2);
-
-        double ratios[3];
-        ArchController *ctrls[3] = {mimo.get(), &heuristic,
-                                    decoupled.get()};
-        for (int a = 0; a < 3; ++a) {
-            SimPlant plant(app, knobs);
-            DriverConfig dcfg;
-            dcfg.epochs = epochs;
-            dcfg.useOptimizer = a != 1; // heuristic searches itself
-            dcfg.optimizer.metricExponent = 2;
-            EpochDriver driver(plant, *ctrls[a], dcfg);
-            const RunSummary sum = driver.run(baselineSettings());
-            ratios[a] = sum.exdMetric(2) / base;
-            sums[a] += ratios[a];
-        }
-        ++n;
-        std::printf("%-11s %10.3f %10.3f %10.3f\n", name.c_str(),
-                    ratios[0], ratios[1], ratios[2]);
-        table.addRow({name, formatCell(ratios[0]), formatCell(ratios[1]),
-                      formatCell(ratios[2])});
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const Row &row = rows[i];
+        std::printf("%-11s %10.3f %10.3f %10.3f\n", apps[i].c_str(),
+                    row.ratios[0], row.ratios[1], row.ratios[2]);
+        table.addRow({apps[i], formatCell(row.ratios[0]),
+                      formatCell(row.ratios[1]),
+                      formatCell(row.ratios[2])});
+        for (int a = 0; a < 3; ++a)
+            sums[a] += row.ratios[a];
     }
+    const double n = static_cast<double>(apps.size());
     std::printf("%-11s %10.3f %10.3f %10.3f\n", "Avg", sums[0] / n,
                 sums[1] / n, sums[2] / n);
     table.addRow({"Avg", formatCell(sums[0] / n), formatCell(sums[1] / n),

@@ -5,6 +5,8 @@
  * outputs). The MIMO controller is regenerated semi-automatically by
  * re-running the design flow; the Heuristic search extends its ranking
  * by hand.
+ *
+ * One job per application (3 runs each), sharded with --jobs N.
  */
 
 #include "bench_common.hpp"
@@ -13,54 +15,65 @@ using namespace mimoarch;
 using namespace mimoarch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exec::SweepRunner runner(benchSweepOptions(argc, argv));
     banner("Fig. 10: E x D minimization, 3 inputs (ROB size added)");
     const ExperimentConfig cfg = benchConfig();
-    const MimoDesignResult &design = cachedDesign(true);
-    KnobSpace knobs(true);
-    MimoControllerDesign flow(knobs, cfg);
+    const auto design = cachedDesign(true);
+    const auto apps = figureAppOrder();
 
-    auto mimo = flow.buildController(design);
-    HeuristicSearchConfig hcfg;
-    hcfg.metricExponent = 2;
-    HeuristicSearchController heuristic(knobs, hcfg);
+    const size_t epochs = 2000;
+    struct Row
+    {
+        double ratios[2] = {0, 0};
+    };
+    const std::vector<Row> rows = runner.map<Row>(
+        apps.size(), [&](size_t i) {
+            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+            const KnobSpace knobs(true);
+            const MimoControllerDesign flow(knobs, cfg);
+
+            SimPlant pb(app, knobs);
+            FixedController fixed(baselineSettings());
+            DriverConfig bcfg;
+            bcfg.epochs = epochs;
+            EpochDriver bd(pb, fixed, bcfg);
+            const double base = bd.run(baselineSettings()).exdMetric(2);
+
+            auto mimo = flow.buildController(*design);
+            HeuristicSearchConfig hcfg;
+            hcfg.metricExponent = 2;
+            HeuristicSearchController heuristic(knobs, hcfg);
+
+            Row row;
+            ArchController *ctrls[2] = {mimo.get(), &heuristic};
+            for (int a = 0; a < 2; ++a) {
+                SimPlant plant(app, knobs);
+                DriverConfig dcfg;
+                dcfg.epochs = epochs;
+                dcfg.useOptimizer = a == 0;
+                dcfg.optimizer.metricExponent = 2;
+                EpochDriver driver(plant, *ctrls[a], dcfg);
+                const RunSummary sum = driver.run(baselineSettings());
+                row.ratios[a] = sum.exdMetric(2) / base;
+            }
+            return row;
+        });
 
     CsvTable table({"app", "mimo", "heuristic"});
     std::printf("%-11s %10s %10s\n", "app", "MIMO", "Heuristic");
-
-    const size_t epochs = 2000;
     double sums[2] = {0, 0};
-    int n = 0;
-    for (const std::string &name : figureAppOrder()) {
-        const AppSpec &app = Spec2006Suite::byName(name);
-
-        SimPlant pb(app, knobs);
-        FixedController fixed(baselineSettings());
-        DriverConfig bcfg;
-        bcfg.epochs = epochs;
-        EpochDriver bd(pb, fixed, bcfg);
-        const double base = bd.run(baselineSettings()).exdMetric(2);
-
-        double ratios[2];
-        ArchController *ctrls[2] = {mimo.get(), &heuristic};
-        for (int a = 0; a < 2; ++a) {
-            SimPlant plant(app, knobs);
-            DriverConfig dcfg;
-            dcfg.epochs = epochs;
-            dcfg.useOptimizer = a == 0;
-            dcfg.optimizer.metricExponent = 2;
-            EpochDriver driver(plant, *ctrls[a], dcfg);
-            const RunSummary sum = driver.run(baselineSettings());
-            ratios[a] = sum.exdMetric(2) / base;
-            sums[a] += ratios[a];
-        }
-        ++n;
-        std::printf("%-11s %10.3f %10.3f\n", name.c_str(), ratios[0],
-                    ratios[1]);
-        table.addRow({name, formatCell(ratios[0]),
-                      formatCell(ratios[1])});
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const Row &row = rows[i];
+        std::printf("%-11s %10.3f %10.3f\n", apps[i].c_str(),
+                    row.ratios[0], row.ratios[1]);
+        table.addRow({apps[i], formatCell(row.ratios[0]),
+                      formatCell(row.ratios[1])});
+        sums[0] += row.ratios[0];
+        sums[1] += row.ratios[1];
     }
+    const double n = static_cast<double>(apps.size());
     std::printf("%-11s %10.3f %10.3f\n", "Avg", sums[0] / n,
                 sums[1] / n);
     table.addRow({"Avg", formatCell(sums[0] / n),

@@ -5,6 +5,8 @@
  * (IPS, power) reference pair; the bench reports the average IPS and
  * power errors, split into responsive and non-responsive applications
  * exactly as the paper does.
+ *
+ * One job per application (3 runs each), sharded with --jobs N.
  */
 
 #include "bench_common.hpp"
@@ -13,22 +15,51 @@ using namespace mimoarch;
 using namespace mimoarch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exec::SweepRunner runner(benchSweepOptions(argc, argv));
     banner("Fig. 11: tracking multiple references (all production apps)");
     const ExperimentConfig cfg = benchConfig();
-    const MimoDesignResult &design = cachedDesign(false);
-    KnobSpace knobs(false);
-    MimoControllerDesign flow(knobs, cfg);
+    const auto design = cachedDesign(false);
+    const auto siso = cachedSisoModels();
+    const auto apps = figureAppOrder();
 
-    auto mimo = flow.buildController(design);
-    auto [c2i, f2p] = flow.identifySisoModels(Spec2006Suite::trainingSet());
-    auto decoupled = flow.buildDecoupled(c2i, f2p);
-    HeuristicArchController heuristic(knobs, {}, cfg.ipsReference,
-                                      cfg.powerReference);
-    std::vector<ArchController *> ctrls = {mimo.get(), &heuristic,
-                                           decoupled.get()};
+    struct Row
+    {
+        double ips[3] = {0, 0, 0};
+        double power[3] = {0, 0, 0};
+    };
+    const std::vector<Row> rows = runner.map<Row>(
+        apps.size(), [&](size_t i) {
+            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+            const KnobSpace knobs(false);
+            const MimoControllerDesign flow(knobs, cfg);
 
+            auto mimo = flow.buildController(*design);
+            auto decoupled = flow.buildDecoupled(siso->cacheToIps,
+                                                 siso->freqToPower);
+            HeuristicArchController heuristic(knobs, {}, cfg.ipsReference,
+                                              cfg.powerReference);
+            ArchController *ctrls[3] = {mimo.get(), &heuristic,
+                                        decoupled.get()};
+
+            Row row;
+            for (size_t a = 0; a < 3; ++a) {
+                ctrls[a]->setReference(cfg.ipsReference,
+                                       cfg.powerReference);
+                SimPlant plant(app, knobs);
+                DriverConfig dcfg;
+                dcfg.epochs = 1800;
+                dcfg.errorSkipEpochs = 300;
+                EpochDriver driver(plant, *ctrls[a], dcfg);
+                const RunSummary sum = driver.run(offTargetStart());
+                row.ips[a] = sum.avgIpsErrorPct;
+                row.power[a] = sum.avgPowerErrorPct;
+            }
+            return row;
+        });
+
+    const char *arch_names[3] = {"MIMO", "Heuristic", "Decoupled"};
     CsvTable table({"app", "responsive", "arch", "ips_err_pct",
                     "power_err_pct"});
     std::printf("%-11s %-5s | %-22s | %-22s | %-22s\n", "", "",
@@ -41,28 +72,19 @@ main()
         int n = 0;
     };
     Acc resp[3], nonresp[3];
-
-    for (const std::string &name : figureAppOrder()) {
-        const AppSpec &app = Spec2006Suite::byName(name);
-        std::printf("%-11s %-5s |", name.c_str(),
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const AppSpec &app = Spec2006Suite::byName(apps[i]);
+        const Row &row = rows[i];
+        std::printf("%-11s %-5s |", apps[i].c_str(),
                     app.responsive ? "resp" : "non");
-        for (size_t a = 0; a < ctrls.size(); ++a) {
-            ctrls[a]->setReference(cfg.ipsReference, cfg.powerReference);
-            SimPlant plant(app, knobs);
-            DriverConfig dcfg;
-            dcfg.epochs = 1800;
-            dcfg.errorSkipEpochs = 300;
-            EpochDriver driver(plant, *ctrls[a], dcfg);
-            const RunSummary sum = driver.run(offTargetStart());
-            std::printf("  %8.1f %8.1f    |", sum.avgIpsErrorPct,
-                        sum.avgPowerErrorPct);
-            table.addRow({name, app.responsive ? "1" : "0",
-                          ctrls[a]->name(),
-                          formatCell(sum.avgIpsErrorPct),
-                          formatCell(sum.avgPowerErrorPct)});
+        for (size_t a = 0; a < 3; ++a) {
+            std::printf("  %8.1f %8.1f    |", row.ips[a], row.power[a]);
+            table.addRow({apps[i], app.responsive ? "1" : "0",
+                          arch_names[a], formatCell(row.ips[a]),
+                          formatCell(row.power[a])});
             Acc &acc = app.responsive ? resp[a] : nonresp[a];
-            acc.ips += sum.avgIpsErrorPct;
-            acc.power += sum.avgPowerErrorPct;
+            acc.ips += row.ips[a];
+            acc.power += row.power[a];
             ++acc.n;
         }
         std::printf("\n");

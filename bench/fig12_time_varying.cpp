@@ -4,6 +4,8 @@
  * lowers the (IPS, power) targets as a 1 J battery drains (2,000-epoch
  * update period); the bench prints the IPS-vs-time series for astar and
  * milc under MIMO, Heuristic, and Decoupled alongside the reference.
+ *
+ * One job per (app, architecture) trace, sharded with --jobs N.
  */
 
 #include "bench_common.hpp"
@@ -12,56 +14,69 @@ using namespace mimoarch;
 using namespace mimoarch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exec::SweepRunner runner(benchSweepOptions(argc, argv));
     banner("Fig. 12: time-varying tracking (astar, milc; QoE schedule)");
     const ExperimentConfig cfg = benchConfig();
-    const MimoDesignResult &design = cachedDesign(false);
-    KnobSpace knobs(false);
-    MimoControllerDesign flow(knobs, cfg);
+    const auto design = cachedDesign(false);
+    const auto siso = cachedSisoModels();
 
-    auto mimo = flow.buildController(design);
-    auto [c2i, f2p] = flow.identifySisoModels(Spec2006Suite::trainingSet());
-    auto decoupled = flow.buildDecoupled(c2i, f2p);
-    HeuristicArchController heuristic(knobs, {}, cfg.ipsReference,
-                                      cfg.powerReference);
-    std::vector<ArchController *> ctrls = {mimo.get(), &heuristic,
-                                           decoupled.get()};
-
+    const std::vector<std::string> apps = {"astar", "milc"};
+    const char *arch_names[3] = {"MIMO", "Heuristic", "Decoupled"};
     const size_t epochs = 10000; // the paper's Fig. 12 x-range
-    for (const std::string &name : {std::string("astar"),
-                                    std::string("milc")}) {
-        CsvTable table({"epoch", "reference", "MIMO", "Heuristic",
-                        "Decoupled"});
-        std::vector<EpochTrace> traces;
-        for (ArchController *ctrl : ctrls) {
+
+    // Job (app, arch) -> the run's full trace; rows land in a fixed
+    // slot so the emitted series are schedule-independent.
+    const std::vector<EpochTrace> traces = runner.map<EpochTrace>(
+        apps.size() * 3, [&](size_t i) {
+            const std::string &name = apps[i / 3];
+            const size_t a = i % 3;
+            const KnobSpace knobs(false);
+            const MimoControllerDesign flow(knobs, cfg);
+
+            auto mimo = flow.buildController(*design);
+            auto decoupled = flow.buildDecoupled(siso->cacheToIps,
+                                                 siso->freqToPower);
+            HeuristicArchController heuristic(knobs, {}, cfg.ipsReference,
+                                              cfg.powerReference);
+            ArchController *ctrls[3] = {mimo.get(), &heuristic,
+                                        decoupled.get()};
+
             QoeBatteryConfig qcfg;
             qcfg.initialEnergyJoules = 1.0;
             qcfg.updatePeriodEpochs = 2000;
             qcfg.initialIps = cfg.ipsReference;
             qcfg.initialPower = cfg.powerReference;
             QoeBatteryModel battery(qcfg);
-            ctrl->setReference(cfg.ipsReference, cfg.powerReference);
+            ctrls[a]->setReference(cfg.ipsReference, cfg.powerReference);
             SimPlant plant(Spec2006Suite::byName(name), knobs);
             DriverConfig dcfg;
             dcfg.epochs = epochs;
-            EpochDriver driver(plant, *ctrl, dcfg, &battery);
+            EpochDriver driver(plant, *ctrls[a], dcfg, &battery);
             driver.run(KnobSettings{});
-            traces.push_back(driver.trace());
-        }
+            return driver.trace();
+        });
+
+    for (size_t ai = 0; ai < apps.size(); ++ai) {
+        const std::string &name = apps[ai];
+        const EpochTrace *app_traces = &traces[ai * 3];
 
         // Tracking quality: mean |IPS - ref| over the run.
         std::printf("%s: mean |IPS - ref| (BIPS): ", name.c_str());
-        for (size_t a = 0; a < ctrls.size(); ++a) {
+        for (size_t a = 0; a < 3; ++a) {
             double err = 0;
             for (size_t t = 200; t < epochs; ++t)
-                err += std::abs(traces[a].ips[t] - traces[a].refIps[t]);
-            std::printf("%s=%.3f  ", ctrls[a]->name().c_str(),
+                err += std::abs(app_traces[a].ips[t] -
+                                app_traces[a].refIps[t]);
+            std::printf("%s=%.3f  ", arch_names[a],
                         err / static_cast<double>(epochs - 200));
         }
         std::printf("\n");
 
         // Decimated series for the figure.
+        CsvTable table({"epoch", "reference", "MIMO", "Heuristic",
+                        "Decoupled"});
         for (size_t t = 0; t < epochs; t += 100) {
             const auto avg = [&](const std::vector<double> &v) {
                 double s = 0;
@@ -70,10 +85,10 @@ main()
                 return s / 100.0;
             };
             table.addRow({std::to_string(t),
-                          formatCell(avg(traces[0].refIps)),
-                          formatCell(avg(traces[0].ips)),
-                          formatCell(avg(traces[1].ips)),
-                          formatCell(avg(traces[2].ips))});
+                          formatCell(avg(app_traces[0].refIps)),
+                          formatCell(avg(app_traces[0].ips)),
+                          formatCell(avg(app_traces[1].ips)),
+                          formatCell(avg(app_traces[2].ips))});
         }
         table.writeFile("fig12_" + name + ".csv");
     }

@@ -15,6 +15,11 @@
  * error even fault-free (the reference is unreachable — see Fig. 11),
  * so a run "diverges" when its error blows up *relative to the same
  * app/architecture pair fault-free*, or turns non-finite.
+ *
+ * One job per (rate, app) — the three loops inside a job fight the
+ * exact same fault schedule. Divergence flags are computed after the
+ * sweep from the rate-0 rows (the yardstick), so every job stays
+ * independent of every other.
  */
 
 #include <cmath>
@@ -54,10 +59,15 @@ struct RunResult
     RunSummary sum;
 };
 
+/** One (rate, app) job: the three loops against one fault schedule. */
+struct Cell
+{
+    RunResult runs[3];
+};
+
 RunResult
 runOne(const AppSpec &app, const KnobSpace &knobs, ArchController &ctrl,
-       const FaultScheduleConfig &faults, const ExperimentConfig &cfg,
-       double faultfree_err)
+       const FaultScheduleConfig &faults, const ExperimentConfig &cfg)
 {
     ctrl.setReference(cfg.ipsReference, cfg.powerReference);
     SimPlant plant(app, knobs);
@@ -69,9 +79,6 @@ runOne(const AppSpec &app, const KnobSpace &knobs, ArchController &ctrl,
     RunResult r;
     r.sum = driver.run(offTargetStart());
     r.errPct = 0.5 * (r.sum.avgIpsErrorPct + r.sum.avgPowerErrorPct);
-    r.diverged = !std::isfinite(r.errPct) ||
-                 r.errPct > kDivergenceBlowup * faultfree_err +
-                                kDivergenceSlackPct;
     return r;
 }
 
@@ -112,65 +119,85 @@ struct Acc
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exec::SweepRunner runner(benchSweepOptions(argc, argv));
     banner("Fault resilience: supervised vs raw MIMO vs Heuristic");
     const ExperimentConfig cfg = benchConfig();
-    const MimoDesignResult &design = cachedDesign(false);
-    KnobSpace knobs(false);
-    MimoControllerDesign flow(knobs, cfg);
+    const auto design = cachedDesign(false);
 
     const double rates[] = {0.0, 0.005, 0.01, 0.02, 0.05};
     const char *arch_names[] = {"MIMO+sup", "MIMO-raw", "Heuristic"};
+    const auto apps = figureAppOrder();
+    const size_t n_apps = apps.size();
+
+    std::vector<Cell> cells = runner.map<Cell>(
+        5 * n_apps, [&](size_t i) {
+            const size_t ri = i / n_apps;
+            const size_t ai = i % n_apps;
+            const AppSpec &app = Spec2006Suite::byName(apps[ai]);
+            const KnobSpace knobs(false);
+            const MimoControllerDesign flow(knobs, cfg);
+            // One schedule per (rate, app): all three loops fight the
+            // exact same fault sequence.
+            const FaultScheduleConfig faults = faultsAtRate(
+                rates[ri], 0xFA171u ^ (ai * 2654435761u) ^ (ri << 20));
+
+            auto supervised = makeSupervised(flow, *design, knobs, cfg);
+            auto raw = flow.buildController(*design);
+            HeuristicArchController heuristic(knobs, {}, cfg.ipsReference,
+                                              cfg.powerReference);
+            ArchController *ctrls[3] = {supervised.get(), raw.get(),
+                                        &heuristic};
+            Cell cell;
+            for (int a = 0; a < 3; ++a)
+                cell.runs[a] = runOne(app, knobs, *ctrls[a], faults, cfg);
+            return cell;
+        });
+
+    // Divergence flags from the rate-0 yardstick. The fault-free pass
+    // itself can only "diverge" by going non-finite.
+    for (size_t ri = 0; ri < 5; ++ri) {
+        for (size_t ai = 0; ai < n_apps; ++ai) {
+            for (int a = 0; a < 3; ++a) {
+                RunResult &r = cells[ri * n_apps + ai].runs[a];
+                if (ri == 0) {
+                    r.diverged = !std::isfinite(r.errPct);
+                } else {
+                    const double faultfree =
+                        cells[ai].runs[a].errPct;
+                    r.diverged = !std::isfinite(r.errPct) ||
+                                 r.errPct >
+                                     kDivergenceBlowup * faultfree +
+                                         kDivergenceSlackPct;
+                }
+            }
+        }
+    }
 
     CsvTable table({"fault_rate", "app", "arch", "ips_err_pct",
                     "power_err_pct", "diverged", "sanitized",
                     "estimator_resets", "fallback_entries", "safe_pins",
                     "repromotions"});
-
-    // acc[rate][arch]; faultfree[app][arch] is the rate-0 error used
-    // as each pair's divergence yardstick.
     Acc acc[5][3];
-    double faultfree[32][3] = {};
     unsigned long ladder_events = 0;
 
     std::printf("%-10s | %-26s | %-26s | %-26s\n", "fault rate",
                 "MIMO+sup (err%, worst, div)",
                 "MIMO-raw (err%, worst, div)",
                 "Heuristic (err%, worst, div)");
-
-    const auto apps = figureAppOrder();
     for (size_t ri = 0; ri < 5; ++ri) {
-        const double rate = rates[ri];
-        for (size_t ai = 0; ai < apps.size(); ++ai) {
-            const AppSpec &app = Spec2006Suite::byName(apps[ai]);
-            // One schedule per (rate, app): all three loops fight the
-            // exact same fault sequence.
-            const FaultScheduleConfig faults = faultsAtRate(
-                rate, 0xFA171u ^ (ai * 2654435761u) ^ (ri << 20));
-
-            auto supervised = makeSupervised(flow, design, knobs, cfg);
-            auto raw = flow.buildController(design);
-            HeuristicArchController heuristic(knobs, {}, cfg.ipsReference,
-                                              cfg.powerReference);
-            ArchController *ctrls[3] = {supervised.get(), raw.get(),
-                                        &heuristic};
+        for (size_t ai = 0; ai < n_apps; ++ai) {
             for (int a = 0; a < 3; ++a) {
-                RunResult r = runOne(app, knobs, *ctrls[a], faults, cfg,
-                                     faultfree[ai][a]);
-                if (ri == 0) {
-                    // The fault-free pass defines the yardstick; it
-                    // can only "diverge" by going non-finite.
-                    faultfree[ai][a] = r.errPct;
-                    r.diverged = !std::isfinite(r.errPct);
-                }
+                const RunResult &r = cells[ri * n_apps + ai].runs[a];
                 acc[ri][a].add(r);
                 const ControllerHealth &h = r.sum.health;
                 if (a == 0) {
                     ladder_events += h.estimatorResets +
                                      h.fallbackEntries + h.safePins;
                 }
-                table.addRow({formatCell(rate), apps[ai], arch_names[a],
+                table.addRow({formatCell(rates[ri]), apps[ai],
+                              arch_names[a],
                               formatCell(r.sum.avgIpsErrorPct),
                               formatCell(r.sum.avgPowerErrorPct),
                               r.diverged ? "1" : "0",
@@ -181,7 +208,7 @@ main()
                               formatCell(double(h.repromotions))});
             }
         }
-        std::printf("%9.1f%% |", rate * 100.0);
+        std::printf("%9.1f%% |", rates[ri] * 100.0);
         for (int a = 0; a < 3; ++a) {
             std::printf("   %7.1f %8.1f %3d    |", acc[ri][a].mean(),
                         acc[ri][a].worst, acc[ri][a].diverged);

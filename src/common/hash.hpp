@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Stable 64-bit hashing for cache keys, job seeds, and result digests.
+ *
+ * Everything here is defined purely in terms of explicit byte/bit
+ * patterns (FNV-1a over bytes, splitmix64 finalization), so a given
+ * input hashes identically across runs, thread counts, and platforms
+ * with the same floating-point representation. No pointers, no
+ * size_t-width dependence, no library hash functions.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace mimoarch {
+
+/** splitmix64 finalizer: avalanches a 64-bit value. */
+constexpr uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Incremental FNV-1a accumulator. Feed typed fields in a fixed order;
+ * the stream of bytes (and therefore the hash) is the same on every
+ * run. Doubles are hashed by bit pattern, so two results digest equal
+ * iff they are bit-identical.
+ */
+class Fnv64
+{
+  public:
+    Fnv64 &
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001B3ull;
+        }
+        return *this;
+    }
+
+    Fnv64 &
+    u64(uint64_t v)
+    {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        return bytes(b, 8);
+    }
+
+    /** Hash a double by bit pattern (NaNs hash by their payload). */
+    Fnv64 &f64(double v) { return u64(std::bit_cast<uint64_t>(v)); }
+
+    /** Length-prefixed so ("ab","c") and ("a","bc") differ. */
+    Fnv64 &
+    str(const std::string &s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    /** Raw FNV state. */
+    uint64_t raw() const { return h_; }
+
+    /** Avalanched digest (use this as the final value). */
+    uint64_t value() const { return splitmix64(h_); }
+
+  private:
+    uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+} // namespace mimoarch

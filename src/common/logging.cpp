@@ -1,24 +1,27 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace mimoarch {
 
 namespace {
-LogLevel g_level = LogLevel::Normal;
+// Atomic so sweep worker threads can warn() while the main thread
+// owns the level; messages themselves go through stdio, which locks.
+std::atomic<LogLevel> g_level{LogLevel::Normal};
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -40,14 +43,14 @@ panicImpl(const char *, int, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_level != LogLevel::Quiet)
+    if (logLevel() != LogLevel::Quiet)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level != LogLevel::Quiet)
+    if (logLevel() != LogLevel::Quiet)
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -2,11 +2,23 @@
 
 #include <cmath>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "sysid/arx.hpp"
 #include "sysid/waveform.hpp"
 
 namespace mimoarch {
+
+uint64_t
+sysidSeed(const std::string &purpose, const std::string &app_name)
+{
+    // Stable per-(purpose, app) excitation seed: adding or removing an
+    // application from a set must not shift any other app's waveform,
+    // and repeated flows (any thread, any order) replay identically.
+    Fnv64 h;
+    h.str(purpose).str(app_name);
+    return h.value();
+}
 
 MimoControllerDesign::MimoControllerDesign(
     const KnobSpace &knobs, const ExperimentConfig &config,
@@ -112,11 +124,10 @@ MimoControllerDesign::design(const std::vector<AppSpec> &training,
 
     // 1. Identification experiments on the training set.
     std::vector<SysIdRecord> recs;
-    uint64_t seed = 1000;
     for (const AppSpec &app : training) {
         SimPlant plant(app, knobs_, procConfig_);
-        recs.push_back(
-            collectRecord(plant, config_.sysidEpochsPerApp, seed++));
+        recs.push_back(collectRecord(plant, config_.sysidEpochsPerApp,
+                                     sysidSeed("sysid-train", app.name)));
     }
     const SysIdRecord all = concatenate(alignOperatingPoints(recs));
 
@@ -136,8 +147,9 @@ MimoControllerDesign::design(const std::vector<AppSpec> &training,
     std::vector<SysIdRecord> vrecs;
     for (const AppSpec &app : validation) {
         SimPlant plant(app, knobs_, procConfig_, /*seed_salt=*/17);
-        vrecs.push_back(collectRecord(
-            plant, config_.validationEpochsPerApp, seed++));
+        vrecs.push_back(
+            collectRecord(plant, config_.validationEpochsPerApp,
+                          sysidSeed("sysid-validate", app.name)));
     }
     if (!vrecs.empty()) {
         const SysIdRecord vall = concatenate(vrecs);
@@ -204,7 +216,8 @@ MimoControllerDesign::identifySisoModels(
     const auto collect_siso =
         [&](size_t excited_channel, size_t output_idx,
             double fixed_other) {
-            uint64_t seed = 4000 + excited_channel * 100;
+            const std::string purpose =
+                "sysid-siso-" + std::to_string(excited_channel);
             Matrix u_all, y_all;
             bool first = true;
             for (const AppSpec &app : training) {
@@ -212,7 +225,7 @@ MimoControllerDesign::identifySisoModels(
                 plant.warmup(config_.warmupEpochs);
                 WaveformConfig wcfg;
                 wcfg.lengthEpochs = config_.sysidEpochsPerApp;
-                wcfg.seed = seed++;
+                wcfg.seed = sysidSeed(purpose, app.name);
                 const std::vector<InputChannelSpec> all_ch =
                     knobs_.channels();
                 const Matrix wave = generateExcitation(

@@ -23,6 +23,17 @@
 
 namespace mimoarch {
 
+/**
+ * Stable excitation-waveform seed for one identification experiment: a
+ * pure hash of (purpose, application), never a shared counter — so a
+ * set's composition does not shift the other apps' waveforms, and the
+ * flow replays bit-identically on any thread in any order. The design
+ * flow itself has no other randomness, which is what makes the
+ * process-wide DesignCache (src/exec) sound.
+ */
+uint64_t sysidSeed(const std::string &purpose,
+                   const std::string &app_name);
+
 /** One identification record: applied inputs and measured outputs. */
 struct SysIdRecord
 {

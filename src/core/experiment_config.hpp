@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/hash.hpp"
 #include "control/lqg.hpp"
 #include "sysid/arx.hpp"
 #include "sysid/waveform.hpp"
@@ -127,6 +128,39 @@ struct ExperimentConfig
         ArxConfig c;
         c.order = (stateDimension + 1) / 2;
         return c;
+    }
+
+    /**
+     * Stable 64-bit fingerprint over every field that influences the
+     * design flow or a run (doubles by bit pattern). Two configs with
+     * equal fingerprints produce bit-identical designs; the DesignCache
+     * in src/exec keys memoized MimoControllerDesign::design() results
+     * on this. Extend this hash whenever a field is added.
+     */
+    uint64_t
+    fingerprint() const
+    {
+        Fnv64 h;
+        h.f64(powerWeight).f64(ipsWeight).f64(freqWeight)
+            .f64(cacheWeight).f64(robWeight);
+        h.u64(stateDimension).f64(ipsGuardband).f64(powerGuardband);
+        h.f64(epochSeconds).u64(optimizerPeriodEpochs).u64(maxTries);
+        h.f64(ipsReference).f64(powerReference);
+        h.u64(sysidEpochsPerApp).u64(validationEpochsPerApp)
+            .u64(warmupEpochs);
+        h.f64(inputWeightScale).f64(measurementNoiseInflation);
+        const FaultScheduleConfig &f = faults;
+        h.u64(f.enabled ? 1 : 0).u64(f.seed);
+        h.f64(f.sensorFaultRate).f64(f.actuatorFaultRate);
+        h.u64(f.startEpoch).u64(f.endEpoch);
+        h.f64(f.weightNaN).f64(f.weightStuckAt).f64(f.weightSpike)
+            .f64(f.weightDropout).f64(f.weightDrift);
+        h.f64(f.spikeFactor).f64(f.driftPerEpoch);
+        h.u64(f.stuckEpochs).u64(f.dropoutEpochs).u64(f.driftEpochs);
+        h.f64(f.weightDropTransition).f64(f.weightLagTransition)
+            .f64(f.weightStuckCache);
+        h.u64(f.lagEpochs).u64(f.cacheStuckEpochs);
+        return h.value();
     }
 };
 

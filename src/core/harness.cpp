@@ -3,9 +3,53 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 
 namespace mimoarch {
+
+uint64_t
+digest(const RunSummary &s)
+{
+    Fnv64 h;
+    h.f64(s.avgIpsErrorPct).f64(s.avgPowerErrorPct);
+    h.u64(static_cast<uint64_t>(s.steadyEpochFreq))
+        .u64(static_cast<uint64_t>(s.steadyEpochCache));
+    h.f64(s.totalEnergyJ).f64(s.totalTimeS).f64(s.totalInstrB);
+    h.u64(s.nonFiniteSkips);
+    h.u64(s.health.tier).u64(s.health.sanitizedMeasurements)
+        .u64(s.health.rejectedMeasurements).u64(s.health.estimatorResets)
+        .u64(s.health.fallbackEntries).u64(s.health.safePins)
+        .u64(s.health.repromotions).u64(s.health.watchdogTrips);
+    return h.value();
+}
+
+uint64_t
+digest(const EpochTrace &t)
+{
+    Fnv64 h;
+    const auto doubles = [&h](const std::vector<double> &v) {
+        h.u64(v.size());
+        for (double x : v)
+            h.f64(x);
+    };
+    const auto unsigneds = [&h](const std::vector<unsigned> &v) {
+        h.u64(v.size());
+        for (unsigned x : v)
+            h.u64(x);
+    };
+    doubles(t.ips);
+    doubles(t.power);
+    doubles(t.trueIps);
+    doubles(t.truePower);
+    doubles(t.refIps);
+    doubles(t.refPower);
+    unsigneds(t.freqLevel);
+    unsigneds(t.cacheSetting);
+    unsigneds(t.robPartitions);
+    unsigneds(t.tier);
+    return h.value();
+}
 
 EpochDriver::EpochDriver(Plant &plant, ArchController &controller,
                          const DriverConfig &config, QoeBatteryModel *qoe)

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -103,6 +104,16 @@ struct DriverConfig
     bool usePhaseDetector = true;
     PhaseDetectorConfig phaseDetector{};
 };
+
+/**
+ * Bit-exact 64-bit digest of a summary: every field, doubles by bit
+ * pattern. Two runs digest equal iff they are bit-identical — the
+ * equality the golden-trace and serial-vs-parallel tests assert.
+ */
+uint64_t digest(const RunSummary &summary);
+
+/** Bit-exact digest of a per-epoch trace (all series, all epochs). */
+uint64_t digest(const EpochTrace &trace);
 
 /** Runs one controlled experiment. */
 class EpochDriver

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Process-wide memoization of the expensive controller-design flow.
+ *
+ * Every figure bench and the integration tests start by running the
+ * full Fig. 3 system-identification + LQG design on the training set.
+ * The flow is deterministic (fixed internal seeds, see design_flow.cpp)
+ * so its result is a pure function of (knob space, ExperimentConfig,
+ * ProcessorConfig) — exactly what this cache keys on. Concurrent
+ * requests for the same key block behind one computation; distinct
+ * keys compute in parallel. Replaces the ad-hoc function-local statics
+ * that used to live in bench/bench_common.hpp.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+
+#include "core/design_flow.hpp"
+
+namespace mimoarch::exec {
+
+/** The two SISO models behind the Decoupled architecture. */
+struct SisoModels
+{
+    StateSpaceModel cacheToIps;
+    StateSpaceModel freqToPower;
+};
+
+/**
+ * Keyed, thread-safe cache of design-flow products. Entries are
+ * immutable once computed and are shared by reference-counted pointer,
+ * so sweep jobs on any thread can hold them without lifetime games.
+ */
+class DesignCache
+{
+  public:
+    /** The process-wide instance (benches, tests). */
+    static DesignCache &instance();
+
+    DesignCache() = default;
+    DesignCache(const DesignCache &) = delete;
+    DesignCache &operator=(const DesignCache &) = delete;
+
+    /**
+     * Memoized MimoControllerDesign::design() on the paper's training/
+     * validation split. The key is (inputs, cfg.fingerprint(),
+     * proc_tag); pass a unique @p proc_tag when @p proc is not
+     * default-constructed — the ProcessorConfig itself is not hashed.
+     */
+    std::shared_ptr<const MimoDesignResult>
+    design(const KnobSpace &knobs, const ExperimentConfig &cfg,
+           const ProcessorConfig &proc = {}, uint64_t proc_tag = 0);
+
+    /**
+     * Memoized identifySisoModels() (2-input space) for the Decoupled
+     * architecture, same keying rules.
+     */
+    std::shared_ptr<const SisoModels>
+    sisoModels(const ExperimentConfig &cfg,
+               const ProcessorConfig &proc = {}, uint64_t proc_tag = 0);
+
+    /** Full designs computed so far (not cache hits) — for tests. */
+    unsigned long designComputations() const;
+
+    /** Drop all entries (tests only; outstanding pointers stay valid). */
+    void clear();
+
+  private:
+    struct Entry;
+
+    /** Find-or-insert the entry for @p key, then run-once @p compute. */
+    template <typename T, typename ComputeFn>
+    std::shared_ptr<const T> getOrCompute(uint64_t key,
+                                          ComputeFn &&compute);
+
+    mutable std::shared_mutex mutex_;
+    std::map<uint64_t, std::shared_ptr<Entry>> entries_;
+    unsigned long computations_ = 0; //!< Guarded by mutex_.
+};
+
+} // namespace mimoarch::exec

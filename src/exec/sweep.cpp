@@ -1,0 +1,101 @@
+#include "exec/sweep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace mimoarch::exec {
+
+namespace {
+
+unsigned
+parseJobCount(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1 || v > 4096)
+        fatal(flag, ": expected a job count in [1, 4096], got '", text,
+              "'");
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+SweepOptions
+parseSweepArgs(int argc, char **argv)
+{
+    SweepOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+            if (i + 1 >= argc)
+                fatal(arg, ": missing job count");
+            opt.jobs = parseJobCount(argv[++i], arg);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            opt.jobs = parseJobCount(arg + 7, "--jobs");
+        } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            opt.jobs = parseJobCount(arg + 2, "-j");
+        } else {
+            fatal("unknown argument '", arg,
+                  "' (benches accept --jobs N; default: hardware "
+                  "concurrency)");
+        }
+    }
+    return opt;
+}
+
+SweepRunner::SweepRunner(const SweepOptions &options)
+    : jobs_(options.jobs > 0 ? options.jobs
+                             : ThreadPool::hardwareThreads()),
+      progress_(options.progress)
+{
+    if (jobs_ > 1)
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    std::atomic<size_t> done{0};
+    const auto tick = [&](size_t) {
+        if (!progress_)
+            return;
+        const size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::fprintf(stderr, "# sweep: %zu/%zu jobs done\n", d, n);
+    };
+
+    if (!pool_) {
+        // Serial reference semantics: in order, on this thread.
+        for (size_t i = 0; i < n; ++i) {
+            fn(i);
+            tick(i);
+        }
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(n);
+    for (size_t i = 0; i < n; ++i) {
+        pool_->submit([&, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            tick(i);
+        });
+    }
+    pool_->wait();
+    for (size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+}
+
+} // namespace mimoarch::exec

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SweepRunner: shards (app x controller x knob-config x seed) jobs
+ * across a work-stealing ThreadPool with a determinism contract.
+ *
+ * The contract, which every bench and test sweep in this repo relies
+ * on:
+ *
+ *   1. Each job derives all of its randomness from jobSeed(JobKey) —
+ *      a pure function of the job's stable identity — never from
+ *      global state, thread ids, time, or submission order.
+ *   2. Each job builds its own plant and controller and writes only
+ *      its own result slot; shared inputs (design results, models)
+ *      are immutable.
+ *   3. Results are collected per job and emitted by the caller in job
+ *      order after the sweep, never interleaved as jobs complete.
+ *
+ * Under this contract a sweep's outputs are bit-identical regardless
+ * of --jobs and OS scheduling (see tests/exec/parallel_equivalence).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace mimoarch::exec {
+
+/** Stable identity of one sweep job (hash input for its RNG seed). */
+struct JobKey
+{
+    std::string app;        //!< Workload name ("" when not app-keyed).
+    std::string controller; //!< Architecture/controller label.
+    uint64_t config = 0;    //!< Knob-config / variant discriminator.
+    uint64_t rep = 0;       //!< Seed / repetition index.
+};
+
+/**
+ * The job's deterministic RNG seed: a pure hash of the key. Stable
+ * across runs, platforms, thread counts, and job orderings.
+ */
+inline uint64_t
+jobSeed(const JobKey &key)
+{
+    Fnv64 h;
+    h.str(key.app).str(key.controller).u64(key.config).u64(key.rep);
+    return h.value();
+}
+
+/** Sweep-wide execution options (the --jobs knob). */
+struct SweepOptions
+{
+    unsigned jobs = 0;     //!< Worker threads; 0 = hardware concurrency.
+    bool progress = false; //!< Per-job completion ticks on stderr.
+};
+
+/**
+ * Parse sweep flags from a bench's argv: --jobs N / --jobs=N / -jN.
+ * Unknown arguments are fatal (benches take no other arguments).
+ */
+SweepOptions parseSweepArgs(int argc, char **argv);
+
+/** Runs job lists across a pool; owns the pool. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const SweepOptions &options = {});
+    ~SweepRunner();
+
+    /** Effective worker count (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run @p fn(i) for i in [0, n) and return the results in index
+     * order. R must be default-constructible and movable. With one
+     * worker the jobs run inline, in order, on the calling thread
+     * (exactly the pre-parallel serial semantics). Job exceptions are
+     * captured and the lowest-index one is rethrown after the sweep.
+     */
+    template <typename R>
+    std::vector<R>
+    map(size_t n, const std::function<R(size_t)> &fn)
+    {
+        std::vector<R> results(n);
+        forEach(n, [&](size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+    /**
+     * Run @p fn(i) for i in [0, n); results are whatever fn writes to
+     * its own slots. Blocks until all jobs finished.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    unsigned jobs_;
+    bool progress_;
+    std::unique_ptr<ThreadPool> pool_; //!< Null when jobs_ == 1.
+};
+
+} // namespace mimoarch::exec

@@ -1,0 +1,142 @@
+#include "exec/thread_pool.hpp"
+
+#include "common/logging.hpp"
+
+namespace mimoarch::exec {
+
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to,
+// so nested submits go to the submitting worker's own queue instead of
+// round-robining through the shared cursor.
+thread_local ThreadPool *tl_pool = nullptr;
+thread_local size_t tl_worker = 0;
+
+} // namespace
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads > 0 ? threads : hardwareThreads();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(stateMutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    size_t target;
+    if (tl_pool == this) {
+        target = tl_worker; // nested submit: stay local (LIFO pop next)
+    } else {
+        std::lock_guard<std::mutex> lk(stateMutex_);
+        target = nextWorker_++ % workers_.size();
+    }
+    {
+        Worker &w = *workers_[target];
+        std::lock_guard<std::mutex> lk(w.mutex);
+        w.queue.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lk(stateMutex_);
+        ++queued_;
+        ++pending_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (tl_pool == this)
+        panic("ThreadPool::wait() called from inside a pool task");
+    std::unique_lock<std::mutex> lk(stateMutex_);
+    allDone_.wait(lk, [this] { return pending_ == 0; });
+}
+
+std::function<void()>
+ThreadPool::acquireTask(size_t self)
+{
+    for (;;) {
+        {
+            Worker &w = *workers_[self];
+            std::lock_guard<std::mutex> lk(w.mutex);
+            if (!w.queue.empty()) {
+                auto task = std::move(w.queue.back());
+                w.queue.pop_back();
+                return task;
+            }
+        }
+        for (size_t i = 1; i < workers_.size(); ++i) {
+            Worker &victim = *workers_[(self + i) % workers_.size()];
+            std::lock_guard<std::mutex> lk(victim.mutex);
+            if (!victim.queue.empty()) {
+                auto task = std::move(victim.queue.front());
+                victim.queue.pop_front();
+                return task;
+            }
+        }
+        // Tasks are pushed before queued_ is incremented, so a
+        // reservation guarantees one exists — but a racing claimant may
+        // have emptied a queue after we scanned it. Rescan politely.
+        std::this_thread::yield();
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    tl_pool = this;
+    tl_worker = self;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(stateMutex_);
+            workAvailable_.wait(
+                lk, [this] { return stopping_ || queued_ > 0; });
+            if (queued_ == 0) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            --queued_; // reserve one task; acquireTask() finds it
+        }
+        std::function<void()> task = acquireTask(self);
+        try {
+            task();
+        } catch (const std::exception &e) {
+            panic("ThreadPool task threw: ", e.what());
+        } catch (...) {
+            panic("ThreadPool task threw a non-exception");
+        }
+        {
+            std::lock_guard<std::mutex> lk(stateMutex_);
+            --pending_;
+            if (pending_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace mimoarch::exec

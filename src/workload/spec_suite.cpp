@@ -244,6 +244,22 @@ Spec2006Suite::nonResponsiveSet()
     return out;
 }
 
+const std::vector<std::string> &
+Spec2006Suite::figureOrder()
+{
+    // The paper's figure order: integer apps first, then floating
+    // point, alphabetical within each group (capitalization follows
+    // the suite's names — tests/exec/app_order_test.cpp pins this
+    // list to productionSet() membership so drift is caught).
+    static const std::vector<std::string> order = {
+        "astar",   "bzip2",     "gcc",    "hmmer",  "h264ref",
+        "libquantum", "mcf",    "omnetpp", "perlbench", "Xalan",
+        "bwaves",  "cactusADM", "dealII", "gamess", "gromacs",
+        "GemsFDTD", "lbm",      "milc",   "povray", "soplex",
+        "sphinx3", "tonto",     "wrf"};
+    return order;
+}
+
 const AppSpec &
 Spec2006Suite::byName(const std::string &name)
 {

@@ -47,6 +47,13 @@ class Spec2006Suite
     /** Production apps that cannot (paper §VIII-D lists 14). */
     static std::vector<AppSpec> nonResponsiveSet();
 
+    /**
+     * The 23 production app names in the paper's figure order (what
+     * every figure bench iterates). Always equals productionSet()
+     * as a set; the order is the figures' presentation order.
+     */
+    static const std::vector<std::string> &figureOrder();
+
     /** Lookup by name; fatal() when unknown. */
     static const AppSpec &byName(const std::string &name);
 };

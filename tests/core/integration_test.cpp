@@ -11,12 +11,25 @@
 
 #include "core/design_flow.hpp"
 #include "core/harness.hpp"
+#include "exec/design_cache.hpp"
 #include "workload/spec_suite.hpp"
 
 namespace mimoarch {
 namespace {
 
-/** One shared controller design for all integration tests. */
+/** The reduced-runtime configuration the integration tests share. */
+ExperimentConfig
+testConfig()
+{
+    ExperimentConfig cfg;
+    cfg.sysidEpochsPerApp = 600; // reduced for test runtime
+    cfg.validationEpochsPerApp = 300;
+    return cfg;
+}
+
+/** One shared controller design for all integration tests, memoized in
+ *  the process-wide DesignCache (so any other suite in the same binary
+ *  asking for the same configuration shares it). */
 class IntegrationFixture : public ::testing::Test
 {
   protected:
@@ -24,31 +37,27 @@ class IntegrationFixture : public ::testing::Test
     SetUpTestSuite()
     {
         knobs_ = new KnobSpace(false);
-        ExperimentConfig cfg;
-        cfg.sysidEpochsPerApp = 600; // reduced for test runtime
-        cfg.validationEpochsPerApp = 300;
-        flow_ = new MimoControllerDesign(*knobs_, cfg);
-        design_ = new MimoDesignResult(
-            flow_->design(Spec2006Suite::trainingSet(),
-                          Spec2006Suite::validationSet()));
+        flow_ = new MimoControllerDesign(*knobs_, testConfig());
+        design_ = exec::DesignCache::instance().design(*knobs_,
+                                                       testConfig());
     }
 
     static void
     TearDownTestSuite()
     {
-        delete design_;
+        design_.reset();
         delete flow_;
         delete knobs_;
     }
 
     static KnobSpace *knobs_;
     static MimoControllerDesign *flow_;
-    static MimoDesignResult *design_;
+    static std::shared_ptr<const MimoDesignResult> design_;
 };
 
 KnobSpace *IntegrationFixture::knobs_ = nullptr;
 MimoControllerDesign *IntegrationFixture::flow_ = nullptr;
-MimoDesignResult *IntegrationFixture::design_ = nullptr;
+std::shared_ptr<const MimoDesignResult> IntegrationFixture::design_;
 
 TEST_F(IntegrationFixture, DesignProducesDimensionFourModel)
 {

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Consistency of the figure presentation order with the suite: the 23
+ * production names every bench iterates must resolve, be unique, and
+ * be exactly the production set (no training or validation apps).
+ * bench/bench_common.hpp's figureAppOrder() delegates to
+ * Spec2006Suite::figureOrder(), so this pins the bench order too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workload/spec_suite.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(FigureOrder, HasTheTwentyThreeProductionApps)
+{
+    EXPECT_EQ(Spec2006Suite::figureOrder().size(), 23u);
+    EXPECT_EQ(Spec2006Suite::productionSet().size(), 23u);
+}
+
+TEST(FigureOrder, EveryNameResolvesAndIsUnique)
+{
+    std::set<std::string> seen;
+    for (const std::string &name : Spec2006Suite::figureOrder()) {
+        // byName() is fatal on an unknown name, so resolving is the
+        // assertion; the spec must carry the name it was looked up by.
+        EXPECT_EQ(Spec2006Suite::byName(name).name, name);
+        EXPECT_TRUE(seen.insert(name).second)
+            << name << " appears twice in the figure order";
+    }
+}
+
+TEST(FigureOrder, IsExactlyTheProductionSet)
+{
+    std::set<std::string> figure;
+    for (const std::string &name : Spec2006Suite::figureOrder())
+        figure.insert(name);
+    std::set<std::string> production;
+    for (const AppSpec &app : Spec2006Suite::productionSet())
+        production.insert(app.name);
+    EXPECT_EQ(figure, production);
+}
+
+TEST(FigureOrder, ExcludesTrainingApps)
+{
+    // Training apps never appear in the figures; the validation pair
+    // (h264ref, tonto) is drawn *from* the production set, so those
+    // two do appear.
+    const auto &order = Spec2006Suite::figureOrder();
+    const auto contains = [&](const std::string &name) {
+        return std::find(order.begin(), order.end(), name) != order.end();
+    };
+    for (const AppSpec &app : Spec2006Suite::trainingSet())
+        EXPECT_FALSE(contains(app.name)) << app.name;
+    for (const AppSpec &app : Spec2006Suite::validationSet())
+        EXPECT_TRUE(contains(app.name)) << app.name;
+}
+
+TEST(FigureOrder, SplitsResponsivenessLikeThePaper)
+{
+    // §VIII-D: 9 responsive, 14 non-responsive production apps.
+    EXPECT_EQ(Spec2006Suite::responsiveSet().size(), 9u);
+    EXPECT_EQ(Spec2006Suite::nonResponsiveSet().size(), 14u);
+}
+
+} // namespace
+} // namespace mimoarch

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * DesignCache tests: one computation per key no matter how many
+ * threads ask at once, distinct keys get distinct entries, clear()
+ * leaves outstanding results valid, and ExperimentConfig::fingerprint()
+ * actually discriminates configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "exec/design_cache.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace mimoarch::exec {
+namespace {
+
+/** Small config so a cache miss costs well under a second. */
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig cfg;
+    cfg.sysidEpochsPerApp = 200;
+    cfg.validationEpochsPerApp = 100;
+    return cfg;
+}
+
+TEST(DesignCache, SingleComputationPerKeyUnderContention)
+{
+    DesignCache cache;
+    const ExperimentConfig cfg = tinyConfig();
+    constexpr size_t kRequests = 32;
+    std::vector<std::shared_ptr<const SisoModels>> got(kRequests);
+
+    ThreadPool pool(8);
+    for (size_t i = 0; i < kRequests; ++i)
+        pool.submit([&cache, &cfg, &got, i] {
+            got[i] = cache.sisoModels(cfg);
+        });
+    pool.wait();
+
+    EXPECT_EQ(cache.designComputations(), 1ul);
+    for (size_t i = 0; i < kRequests; ++i) {
+        ASSERT_TRUE(got[i]) << i;
+        EXPECT_EQ(got[i].get(), got[0].get()) << i;
+    }
+}
+
+TEST(DesignCache, DistinctConfigsComputeSeparately)
+{
+    DesignCache cache;
+    const ExperimentConfig a = tinyConfig();
+    ExperimentConfig b = tinyConfig();
+    b.sysidEpochsPerApp += 1;
+
+    const auto ra = cache.sisoModels(a);
+    const auto rb = cache.sisoModels(b);
+    EXPECT_EQ(cache.designComputations(), 2ul);
+    EXPECT_NE(ra.get(), rb.get());
+    // Same config again: a hit, not a third computation.
+    EXPECT_EQ(cache.sisoModels(a).get(), ra.get());
+    EXPECT_EQ(cache.designComputations(), 2ul);
+}
+
+TEST(DesignCache, DistinctProcTagsComputeSeparately)
+{
+    DesignCache cache;
+    const ExperimentConfig cfg = tinyConfig();
+    const auto a = cache.sisoModels(cfg);
+    const auto b = cache.sisoModels(cfg, {}, /*proc_tag=*/1);
+    EXPECT_EQ(cache.designComputations(), 2ul);
+    EXPECT_NE(a.get(), b.get());
+}
+
+TEST(DesignCache, ClearLeavesOutstandingResultsValid)
+{
+    DesignCache cache;
+    const ExperimentConfig cfg = tinyConfig();
+    const auto before = cache.sisoModels(cfg);
+    cache.clear();
+    EXPECT_EQ(cache.designComputations(), 0ul);
+    // The old result is still usable after the cache dropped it.
+    EXPECT_EQ(before->cacheToIps.numInputs(), 1u);
+    const auto after = cache.sisoModels(cfg);
+    EXPECT_EQ(cache.designComputations(), 1ul);
+    EXPECT_NE(before.get(), after.get());
+}
+
+TEST(ExperimentConfigFingerprint, EqualConfigsAgree)
+{
+    EXPECT_EQ(tinyConfig().fingerprint(), tinyConfig().fingerprint());
+}
+
+TEST(ExperimentConfigFingerprint, EveryTunedFieldDiscriminates)
+{
+    const uint64_t base = tinyConfig().fingerprint();
+    const auto differs = [&](auto mutate) {
+        ExperimentConfig cfg = tinyConfig();
+        mutate(cfg);
+        return cfg.fingerprint() != base;
+    };
+    EXPECT_TRUE(differs([](ExperimentConfig &c) { c.ipsWeight *= 2; }));
+    EXPECT_TRUE(differs([](ExperimentConfig &c) { c.stateDimension++; }));
+    EXPECT_TRUE(differs([](ExperimentConfig &c) { c.epochSeconds *= 2; }));
+    EXPECT_TRUE(
+        differs([](ExperimentConfig &c) { c.ipsReference += 0.5; }));
+    EXPECT_TRUE(
+        differs([](ExperimentConfig &c) { c.sysidEpochsPerApp++; }));
+    EXPECT_TRUE(
+        differs([](ExperimentConfig &c) { c.inputWeightScale *= 2; }));
+    EXPECT_TRUE(
+        differs([](ExperimentConfig &c) { c.faults.enabled = true; }));
+    EXPECT_TRUE(differs([](ExperimentConfig &c) { c.faults.seed++; }));
+}
+
+} // namespace
+} // namespace mimoarch::exec

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Golden-trace regression tests: fixed-seed runs of mcf, lbm and
+ * povray under the MIMO and Heuristic architectures must reproduce the
+ * recorded RunSummary and EpochTrace digests bit-for-bit. This pins
+ * the determinism contract end to end — any change to the plant, the
+ * design flow, the controllers, or the harness that moves a single
+ * bit of any series shows up here.
+ *
+ * The digests are exact double bit patterns, so they are specific to
+ * a toolchain/libm. Regenerate after an intentional numeric change
+ * with:
+ *
+ *     MIMOARCH_UPDATE_GOLDEN=1 ./test_golden_trace
+ *
+ * which rewrites tests/data/golden_traces.txt in the source tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/controllers.hpp"
+#include "core/design_flow.hpp"
+#include "core/harness.hpp"
+#include "exec/design_cache.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace mimoarch {
+namespace {
+
+const char *const kGoldenFile =
+    MIMOARCH_TEST_DATA_DIR "/golden_traces.txt";
+
+/** The configuration the golden runs were recorded under. */
+ExperimentConfig
+goldenConfig()
+{
+    ExperimentConfig cfg;
+    cfg.sysidEpochsPerApp = 300;
+    cfg.validationEpochsPerApp = 150;
+    return cfg;
+}
+
+struct Digests
+{
+    uint64_t summary = 0;
+    uint64_t trace = 0;
+};
+
+/** One fixed-seed serial run; returns its two digests. */
+Digests
+runCase(const std::string &app, const std::string &arch)
+{
+    const ExperimentConfig cfg = goldenConfig();
+    const KnobSpace knobs(false);
+
+    std::unique_ptr<ArchController> owned;
+    if (arch == "MIMO") {
+        const auto design =
+            exec::DesignCache::instance().design(knobs, cfg);
+        const MimoControllerDesign flow(knobs, cfg);
+        owned = flow.buildController(*design);
+    } else {
+        owned = std::make_unique<HeuristicArchController>(
+            knobs, HeuristicArchController::Tuning{}, cfg.ipsReference,
+            cfg.powerReference);
+    }
+    owned->setReference(cfg.ipsReference, cfg.powerReference);
+
+    SimPlant plant(Spec2006Suite::byName(app), knobs);
+    DriverConfig dcfg;
+    dcfg.epochs = 600;
+    dcfg.errorSkipEpochs = 100;
+    EpochDriver driver(plant, *owned, dcfg);
+    KnobSettings init;
+    init.freqLevel = 3;
+    init.cacheSetting = 1;
+    const RunSummary sum = driver.run(init);
+    return {digest(sum), digest(driver.trace())};
+}
+
+const std::vector<std::pair<std::string, std::string>> kCases = {
+    {"mcf", "MIMO"},     {"mcf", "Heuristic"},
+    {"lbm", "MIMO"},     {"lbm", "Heuristic"},
+    {"povray", "MIMO"},  {"povray", "Heuristic"},
+};
+
+std::map<std::string, Digests>
+loadGolden()
+{
+    std::map<std::string, Digests> golden;
+    std::ifstream in(kGoldenFile);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string app, arch;
+        Digests d;
+        ls >> app >> arch >> std::hex >> d.summary >> d.trace;
+        if (!ls.fail())
+            golden[app + "/" + arch] = d;
+    }
+    return golden;
+}
+
+TEST(GoldenTrace, SerialRunsReproduceRecordedDigests)
+{
+    if (std::getenv("MIMOARCH_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(kGoldenFile);
+        ASSERT_TRUE(out.good()) << "cannot write " << kGoldenFile;
+        out << "# <app> <arch> <summary-digest> <trace-digest>\n"
+            << "# Fixed-seed serial runs (see golden_trace_test.cpp);\n"
+            << "# regenerate with MIMOARCH_UPDATE_GOLDEN=1 after an\n"
+            << "# intentional numeric change.\n";
+        for (const auto &[app, arch] : kCases) {
+            const Digests d = runCase(app, arch);
+            out << app << " " << arch << " " << std::hex << d.summary
+                << " " << d.trace << std::dec << "\n";
+        }
+        GTEST_SKIP() << "golden digests rewritten to " << kGoldenFile;
+    }
+
+    const std::map<std::string, Digests> golden = loadGolden();
+    ASSERT_EQ(golden.size(), kCases.size())
+        << "incomplete golden file " << kGoldenFile
+        << " — regenerate with MIMOARCH_UPDATE_GOLDEN=1";
+
+    for (const auto &[app, arch] : kCases) {
+        const Digests got = runCase(app, arch);
+        const auto it = golden.find(app + "/" + arch);
+        ASSERT_NE(it, golden.end()) << app << "/" << arch;
+        EXPECT_EQ(got.summary, it->second.summary)
+            << app << "/" << arch << " RunSummary drifted";
+        EXPECT_EQ(got.trace, it->second.trace)
+            << app << "/" << arch << " EpochTrace drifted";
+    }
+}
+
+TEST(GoldenTrace, RepeatedRunsAreBitIdenticalWithinProcess)
+{
+    // Independent of the recorded file: two fresh runs of the same
+    // case must agree exactly (no hidden global state).
+    const Digests a = runCase("mcf", "MIMO");
+    const Digests b = runCase("mcf", "MIMO");
+    EXPECT_EQ(a.summary, b.summary);
+    EXPECT_EQ(a.trace, b.trace);
+    const Digests h1 = runCase("povray", "Heuristic");
+    const Digests h2 = runCase("povray", "Heuristic");
+    EXPECT_EQ(h1.summary, h2.summary);
+    EXPECT_EQ(h1.trace, h2.trace);
+}
+
+} // namespace
+} // namespace mimoarch

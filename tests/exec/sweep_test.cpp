@@ -1,0 +1,167 @@
+/**
+ * @file
+ * SweepRunner and job-seeding unit tests: flag parsing, index-ordered
+ * results at any worker count, exception routing, and the stability
+ * properties jobSeed() promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/sweep.hpp"
+
+namespace mimoarch::exec {
+namespace {
+
+std::vector<char *>
+argvOf(std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    return argv;
+}
+
+TEST(ParseSweepArgs, DefaultsToHardwareConcurrency)
+{
+    std::vector<std::string> args = {"bench"};
+    auto argv = argvOf(args);
+    const SweepOptions opt =
+        parseSweepArgs(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opt.jobs, 0u); // 0 = resolve to hardware concurrency
+    EXPECT_FALSE(opt.progress);
+}
+
+TEST(ParseSweepArgs, AcceptsEveryJobsSpelling)
+{
+    const std::vector<std::vector<std::string>> cases = {
+        {"bench", "--jobs", "4"},
+        {"bench", "--jobs=4"},
+        {"bench", "-j", "4"},
+        {"bench", "-j4"},
+    };
+    for (std::vector<std::string> args : cases) {
+        auto argv = argvOf(args);
+        const SweepOptions opt =
+            parseSweepArgs(static_cast<int>(argv.size()), argv.data());
+        EXPECT_EQ(opt.jobs, 4u) << args[1];
+    }
+}
+
+TEST(SweepRunner, ReportsAtLeastOneJob)
+{
+    SweepOptions opt;
+    opt.jobs = 0;
+    SweepRunner runner(opt);
+    EXPECT_GE(runner.jobs(), 1u);
+}
+
+TEST(SweepRunner, MapReturnsResultsInIndexOrder)
+{
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        SweepOptions opt;
+        opt.jobs = jobs;
+        SweepRunner runner(opt);
+        const std::vector<size_t> out = runner.map<size_t>(
+            100, [](size_t i) { return i * i; });
+        ASSERT_EQ(out.size(), 100u);
+        for (size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], i * i) << "jobs=" << jobs;
+    }
+}
+
+TEST(SweepRunner, EmptySweepIsANoOp)
+{
+    SweepOptions opt;
+    opt.jobs = 4;
+    SweepRunner runner(opt);
+    EXPECT_TRUE(runner.map<int>(0, [](size_t) { return 1; }).empty());
+}
+
+TEST(SweepRunner, SerialRunnerExecutesInOrderOnThisThread)
+{
+    SweepOptions opt;
+    opt.jobs = 1;
+    SweepRunner runner(opt);
+    const std::thread::id self = std::this_thread::get_id();
+    std::vector<size_t> order;
+    runner.forEach(10, [&](size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 10u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepRunner, LowestIndexExceptionWins)
+{
+    SweepOptions opt;
+    opt.jobs = 4;
+    SweepRunner runner(opt);
+    std::atomic<int> completed{0};
+    try {
+        runner.forEach(64, [&](size_t i) {
+            if (i == 37 || i == 53)
+                throw std::runtime_error(std::to_string(i));
+            completed.fetch_add(1);
+        });
+        FAIL() << "expected the job exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "37");
+    }
+    // Every non-throwing job still ran to completion.
+    EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(JobSeed, IsAPureFunctionOfTheKey)
+{
+    const JobKey key{"mcf", "MIMO", 3, 7};
+    EXPECT_EQ(jobSeed(key), jobSeed(key));
+    EXPECT_EQ(jobSeed(key), jobSeed(JobKey{"mcf", "MIMO", 3, 7}));
+}
+
+TEST(JobSeed, EveryKeyFieldChangesTheSeed)
+{
+    const JobKey base{"mcf", "MIMO", 3, 7};
+    const std::vector<JobKey> variants = {
+        {"lbm", "MIMO", 3, 7},
+        {"mcf", "Heuristic", 3, 7},
+        {"mcf", "MIMO", 4, 7},
+        {"mcf", "MIMO", 3, 8},
+    };
+    for (const JobKey &k : variants)
+        EXPECT_NE(jobSeed(k), jobSeed(base))
+            << k.app << "/" << k.controller << "/" << k.config << "/"
+            << k.rep;
+}
+
+TEST(JobSeed, FieldBoundariesAreUnambiguous)
+{
+    // Length-prefixed string hashing: moving a character across the
+    // app/controller boundary must change the seed.
+    EXPECT_NE(jobSeed(JobKey{"ab", "c", 0, 0}),
+              jobSeed(JobKey{"a", "bc", 0, 0}));
+}
+
+TEST(JobSeed, SpreadsAcrossTheAppSweep)
+{
+    // No collisions over a realistic sweep's key set.
+    std::set<uint64_t> seeds;
+    for (int app = 0; app < 32; ++app)
+        for (int arch = 0; arch < 4; ++arch)
+            for (uint64_t rep = 0; rep < 8; ++rep)
+                seeds.insert(jobSeed(JobKey{"app" + std::to_string(app),
+                                            "arch" + std::to_string(arch),
+                                            0, rep}));
+    EXPECT_EQ(seeds.size(), 32u * 4u * 8u);
+}
+
+} // namespace
+} // namespace mimoarch::exec
