@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Hot-path throughput macro-bench: the perf-trajectory anchor for the
+ * steady-state epoch loop. Runs a fig09-style sweep (MIMO + optimizer,
+ * one job per app) plus a tight controller-step microloop and the cold
+ * design flow, and writes BENCH_hotpath.json with:
+ *
+ *   - design_flow_ms          cold DesignCache system-identification run
+ *   - controller_ns_per_step  LqgServoController::step() on a dim-4 model
+ *   - sweep_wall_ms           wall-clock of the sweep
+ *   - epochs_per_sec          controlled epochs per second across workers
+ *   - peak_rss_mb             getrusage peak resident set
+ *
+ * Checksums (bit-exact sums of controller commands and sweep metrics)
+ * ride along so a perf change that moves numerics is caught here too.
+ *
+ * Pass --baseline <previous BENCH_hotpath.json> to embed that file's
+ * numbers as the "baseline" block and print speedup ratios — this is
+ * how the perf trajectory stays comparable across PRs.
+ *
+ *   ./bench/hotpath_throughput --jobs 4 --baseline BENCH_hotpath.json
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace mimoarch;
+using namespace mimoarch::bench;
+
+namespace {
+
+double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+double
+peakRssMb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0; // KiB on Linux
+}
+
+/** The micro_overhead dim-4 model, kept here so the macro bench is
+ *  self-contained and its ns/step series is comparable over time. */
+StateSpaceModel
+dim4Model()
+{
+    StateSpaceModel m;
+    m.a = Matrix{{0.55, 0.2, 0.1, 0.0},
+                 {0.1, 0.5, 0.0, 0.1},
+                 {0.05, 0.0, 0.4, 0.1},
+                 {0.0, 0.05, 0.1, 0.35}};
+    m.b = Matrix{{0.4, 0.1}, {0.2, 0.3}, {0.1, 0.05}, {0.05, 0.1}};
+    m.c = Matrix{{1.0, 0.0, 0.2, 0.1}, {0.0, 1.0, 0.1, 0.2}};
+    m.d = Matrix{{0.1, 0.02}, {0.15, 0.01}};
+    m.qn = Matrix::identity(4) * 1e-3;
+    m.rn = Matrix::identity(2) * 1e-2;
+    m.inputScaling = SignalScaling::identity(2);
+    m.outputScaling = SignalScaling::identity(2);
+    return m;
+}
+
+/** First numeric value following "<key>": in @p text, or NaN. */
+double
+findNumber(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return std::nan("");
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+struct Metrics
+{
+    double designFlowMs = 0.0;
+    double controllerNsPerStep = 0.0;
+    double controllerChecksum = 0.0;
+    double sweepWallMs = 0.0;
+    double epochsPerSec = 0.0;
+    double sweepChecksum = 0.0;
+    double peakRssMbVal = 0.0;
+};
+
+void
+writeJson(std::FILE *f, const char *indent, const Metrics &m)
+{
+    std::fprintf(f, "%s\"design_flow_ms\": %.3f,\n", indent,
+                 m.designFlowMs);
+    std::fprintf(f, "%s\"controller_ns_per_step\": %.2f,\n", indent,
+                 m.controllerNsPerStep);
+    std::fprintf(f, "%s\"controller_checksum\": %.17g,\n", indent,
+                 m.controllerChecksum);
+    std::fprintf(f, "%s\"sweep_wall_ms\": %.3f,\n", indent, m.sweepWallMs);
+    std::fprintf(f, "%s\"epochs_per_sec\": %.1f,\n", indent,
+                 m.epochsPerSec);
+    std::fprintf(f, "%s\"sweep_checksum\": %.17g,\n", indent,
+                 m.sweepChecksum);
+    std::fprintf(f, "%s\"peak_rss_mb\": %.2f\n", indent, m.peakRssMbVal);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n_apps = 6;
+    size_t epochs = 2000;
+    size_t micro_steps = 500000;
+    std::string baseline_path;
+    exec::SweepOptions sweep_opt;
+    sweep_opt.progress = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j")
+            sweep_opt.jobs = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--apps")
+            n_apps = static_cast<size_t>(std::atol(next()));
+        else if (arg == "--epochs")
+            epochs = static_cast<size_t>(std::atol(next()));
+        else if (arg == "--baseline")
+            baseline_path = next();
+        else
+            fatal("unknown argument: ", arg,
+                  " (--jobs N --apps N --epochs N --baseline FILE)");
+    }
+
+    banner("Hot-path throughput (fig09-style sweep + controller microloop)");
+    Metrics cur;
+
+    // 1. Cold design flow (system identification + LQG design + RSA).
+    const double t_design = nowMs();
+    const auto design = cachedDesign(false);
+    cur.designFlowMs = nowMs() - t_design;
+    std::printf("design flow:   %10.1f ms (cold DesignCache fill)\n",
+                cur.designFlowMs);
+
+    // 2. Controller-step microloop on the standard dim-4 model.
+    {
+        LqgWeights w;
+        w.outputWeights = {10.0, 10000.0};
+        w.inputWeights = {1000.0, 50.0};
+        InputLimits lim;
+        lim.lo = {0.5, 1.0};
+        lim.hi = {2.0, 4.0};
+        LqgServoController ctrl(dim4Model(), w, lim);
+        ctrl.setReference(Matrix::vector({2.0, 2.0}));
+        const Matrix y = Matrix::vector({1.8, 1.9});
+        // Warm up (first steps pay one-time lazy work).
+        for (size_t i = 0; i < 1000; ++i)
+            ctrl.step(y);
+        double sum = 0.0;
+        const double t0 = nowMs();
+        for (size_t i = 0; i < micro_steps; ++i) {
+            const Matrix &u = ctrl.step(y);
+            sum += u[0];
+        }
+        const double t1 = nowMs();
+        cur.controllerNsPerStep =
+            (t1 - t0) * 1e6 / static_cast<double>(micro_steps);
+        cur.controllerChecksum = sum;
+        std::printf("controller:    %10.1f ns/step (%zu steps, "
+                    "checksum %.17g)\n",
+                    cur.controllerNsPerStep, micro_steps, sum);
+    }
+
+    // 3. The fig09-style sweep: MIMO + optimizer, one job per app.
+    exec::SweepRunner runner(sweep_opt);
+    const ExperimentConfig cfg = benchConfig();
+    const auto apps = figureAppOrder();
+    if (n_apps > apps.size())
+        n_apps = apps.size();
+    const double t_sweep = nowMs();
+    const std::vector<double> exd = runner.map<double>(
+        n_apps, [&](size_t i) {
+            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+            const KnobSpace knobs(false);
+            const MimoControllerDesign flow(knobs, cfg);
+            auto mimo = flow.buildController(*design);
+            SimPlant plant(app, knobs);
+            DriverConfig dcfg;
+            dcfg.epochs = epochs;
+            dcfg.useOptimizer = true;
+            dcfg.optimizer.metricExponent = 2;
+            EpochDriver driver(plant, *mimo, dcfg);
+            return driver.run(baselineSettings()).exdMetric(2);
+        });
+    cur.sweepWallMs = nowMs() - t_sweep;
+    const double total_epochs =
+        static_cast<double>(n_apps) * static_cast<double>(epochs);
+    cur.epochsPerSec = total_epochs / (cur.sweepWallMs / 1000.0);
+    for (double v : exd)
+        cur.sweepChecksum += v;
+    cur.peakRssMbVal = peakRssMb();
+    std::printf("sweep:         %10.1f ms wall (%zu apps x %zu epochs, "
+                "%u jobs) = %.0f epochs/s\n",
+                cur.sweepWallMs, n_apps, epochs, runner.jobs(),
+                cur.epochsPerSec);
+    std::printf("peak RSS:      %10.2f MB\n", cur.peakRssMbVal);
+    std::printf("sweep checksum: %.17g\n", cur.sweepChecksum);
+
+    // Optional baseline for the trajectory.
+    Metrics base;
+    bool have_baseline = false;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (in.good()) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            const std::string text = ss.str();
+            base.designFlowMs = findNumber(text, "design_flow_ms");
+            base.controllerNsPerStep =
+                findNumber(text, "controller_ns_per_step");
+            base.controllerChecksum =
+                findNumber(text, "controller_checksum");
+            base.sweepWallMs = findNumber(text, "sweep_wall_ms");
+            base.epochsPerSec = findNumber(text, "epochs_per_sec");
+            base.sweepChecksum = findNumber(text, "sweep_checksum");
+            base.peakRssMbVal = findNumber(text, "peak_rss_mb");
+            have_baseline = std::isfinite(base.controllerNsPerStep);
+        }
+        if (!have_baseline)
+            std::fprintf(stderr, "warning: could not read baseline %s\n",
+                         baseline_path.c_str());
+    }
+    if (have_baseline) {
+        std::printf("vs baseline:   controller %.2fx, sweep %.2fx, "
+                    "design flow %.2fx\n",
+                    base.controllerNsPerStep / cur.controllerNsPerStep,
+                    base.sweepWallMs / cur.sweepWallMs,
+                    base.designFlowMs / cur.designFlowMs);
+    }
+
+    std::FILE *f = std::fopen("BENCH_hotpath.json", "w");
+    if (!f)
+        fatal("cannot write BENCH_hotpath.json");
+    std::fprintf(f, "{\n  \"schema\": 1,\n");
+#ifdef NDEBUG
+    std::fprintf(f, "  \"build\": \"release\",\n");
+#else
+    std::fprintf(f, "  \"build\": \"debug\",\n");
+#endif
+#if defined(MIMOARCH_CHECKED) && MIMOARCH_CHECKED
+    std::fprintf(f, "  \"checked_access\": true,\n");
+#else
+    std::fprintf(f, "  \"checked_access\": false,\n");
+#endif
+    std::fprintf(f, "  \"jobs\": %u,\n", runner.jobs());
+    std::fprintf(f, "  \"apps\": %zu,\n  \"epochs_per_app\": %zu,\n",
+                 n_apps, epochs);
+    std::fprintf(f, "  \"current\": {\n");
+    writeJson(f, "    ", cur);
+    if (have_baseline) {
+        std::fprintf(f, "  },\n  \"baseline\": {\n");
+        writeJson(f, "    ", base);
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_hotpath.json\n");
+    return 0;
+}

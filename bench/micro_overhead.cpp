@@ -96,6 +96,85 @@ BM_OptimizerObserve(benchmark::State &state)
 }
 BENCHMARK(BM_OptimizerObserve);
 
+// --- In-place kernel micro-benches: the allocation-free hot-path ---
+// kernels against the allocating operator forms they replaced.
+
+void
+BM_MatMulOperator(benchmark::State &state)
+{
+    const StateSpaceModel m = dim4Model();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.a * m.a);
+    }
+}
+BENCHMARK(BM_MatMulOperator);
+
+void
+BM_MatMulInto(benchmark::State &state)
+{
+    const StateSpaceModel m = dim4Model();
+    Matrix out(4, 4);
+    for (auto _ : state) {
+        Matrix::mulInto(out, m.a, m.a);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_MatMulInto);
+
+void
+BM_GemvOperator(benchmark::State &state)
+{
+    const StateSpaceModel m = dim4Model();
+    const Matrix x = Matrix::vector({1.0, 2.0, 3.0, 4.0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.a * x);
+    }
+}
+BENCHMARK(BM_GemvOperator);
+
+void
+BM_Gemv(benchmark::State &state)
+{
+    const StateSpaceModel m = dim4Model();
+    const Matrix x = Matrix::vector({1.0, 2.0, 3.0, 4.0});
+    Matrix out(4, 1);
+    for (auto _ : state) {
+        Matrix::gemv(out, m.a, x);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Gemv);
+
+void
+BM_Axpy(benchmark::State &state)
+{
+    Matrix y = Matrix::vector({1.0, 2.0, 3.0, 4.0});
+    const Matrix x = Matrix::vector({0.1, 0.2, 0.3, 0.4});
+    for (auto _ : state) {
+        Matrix::axpy(y, 0.5, x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Axpy);
+
+void
+BM_KalmanUpdate(benchmark::State &state)
+{
+    // The estimator half of step() in isolation: feed a controller a
+    // constant measurement so each iteration exercises the innovation
+    // computation and the time update with a warm workspace.
+    LqgServoController ctrl = makeController();
+    ctrl.setReference(Matrix::vector({2.0, 2.0}));
+    const Matrix y = Matrix::vector({1.8, 1.9});
+    for (int i = 0; i < 100; ++i)
+        ctrl.step(y); // warm up: settle the estimator and workspaces
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctrl.step(y));
+        benchmark::DoNotOptimize(ctrl.lastInnovationNorm());
+    }
+}
+BENCHMARK(BM_KalmanUpdate);
+
 void
 BM_LqgDesign(benchmark::State &state)
 {

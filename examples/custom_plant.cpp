@@ -29,7 +29,7 @@ class AnalyticPlant : public Plant
 
     const KnobSpace &knobs() const override { return knobs_; }
 
-    Matrix
+    const Matrix &
     step(const KnobSettings &settings) override
     {
         settings_ = settings;
@@ -45,10 +45,9 @@ class AnalyticPlant : public Plant
         const double pw = pw_ + rng_.normal(0.0, 0.02);
         energy_ += pw * 50e-6;
         work_ += ips * 50e-6;
-        Matrix y(2, 1);
-        y[kOutputIps] = ips;
-        y[kOutputPower] = pw;
-        return y;
+        y_[kOutputIps] = ips;
+        y_[kOutputPower] = pw;
+        return y_;
     }
 
     KnobSettings currentSettings() const override { return settings_; }
@@ -69,6 +68,7 @@ class AnalyticPlant : public Plant
     KnobSpace knobs_;
     Rng rng_;
     KnobSettings settings_;
+    Matrix y_ = Matrix(2, 1); //!< step() result buffer.
     double ips_ = 1.0;
     double pw_ = 1.0;
     double energy_ = 0.0;

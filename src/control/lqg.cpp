@@ -155,7 +155,33 @@ LqgServoController::init()
         y0Physical_[i] = model_.outputScaling.offset[i];
     setReference(y0Physical_);
     reset(Matrix::vector(std::vector<double>(m, 0.0)));
+    allocWorkspace();
     return Status();
+}
+
+void
+LqgServoController::allocWorkspace()
+{
+    const size_t n = model_.stateDim();
+    const size_t m = model_.numInputs();
+    const size_t p = model_.numOutputs();
+    ws_.yScaled.resizeShape(p, 1);
+    ws_.dx.resizeShape(n, 1);
+    ws_.duPrev.resizeShape(m, 1);
+    ws_.t1.resizeShape(m, 1);
+    ws_.t2.resizeShape(m, 1);
+    ws_.t3.resizeShape(m, 1);
+    ws_.u.resizeShape(m, 1);
+    ws_.uUnsat.resizeShape(m, 1);
+    ws_.uPhys.resizeShape(m, 1);
+    ws_.awDiff.resizeShape(m, 1);
+    ws_.awCorr.resizeShape(p, 1);
+    ws_.cx.resizeShape(p, 1);
+    ws_.duFeed.resizeShape(p, 1);
+    ws_.inno.resizeShape(p, 1);
+    ws_.ax.resizeShape(n, 1);
+    ws_.bu.resizeShape(n, 1);
+    ws_.li.resizeShape(n, 1);
 }
 
 void
@@ -203,7 +229,7 @@ LqgServoController::reset(const Matrix &u_initial_physical)
     zInt_ = Matrix(p, 1);
 }
 
-Matrix
+const Matrix &
 LqgServoController::step(const Matrix &y_physical)
 {
     if (y_physical.rows() != model_.numOutputs() ||
@@ -219,51 +245,85 @@ LqgServoController::step(const Matrix &y_physical)
         measurement_finite &= std::isfinite(y_physical[i]) != 0;
     if (!measurement_finite) {
         ++rejectedMeasurements_;
-        return model_.inputScaling.toPhysical(uPrev_);
+        model_.inputScaling.toPhysicalInto(ws_.uPhys, uPrev_);
+        return ws_.uPhys;
     }
 
-    const Matrix y = model_.outputScaling.toScaled(y_physical);
+    model_.outputScaling.toScaledInto(ws_.yScaled, y_physical);
+    const Matrix &y = ws_.yScaled;
 
     // Estimator measurement update is folded into the predict step
     // below (innovations form): first compute the new command from the
     // current estimate, then advance the estimate with it.
-    const Matrix v = -(design_.kx * (xHat_ - xSs_)) -
-        (design_.ku * (uPrev_ - uSs_)) - (design_.kz * zInt_);
-    Matrix u = uPrev_ + v;
+    //
+    // Every block below keeps the per-element rounding sequence of the
+    // original expression form (one product per gemv, negation and
+    // subtraction in the original association order), so results are
+    // bit-identical to the allocating version — the golden-trace
+    // digests check exactly this.
+    Matrix::subInto(ws_.dx, xHat_, xSs_);
+    Matrix::subInto(ws_.duPrev, uPrev_, uSs_);
+    Matrix::gemv(ws_.t1, design_.kx, ws_.dx);
+    Matrix::gemv(ws_.t2, design_.ku, ws_.duPrev);
+    Matrix::gemv(ws_.t3, design_.kz, zInt_);
+    // v = ((-t1) - t2) - t3, then u = uPrev + v.
+    for (size_t i = 0; i < ws_.u.rows(); ++i) {
+        const double neg = -ws_.t1[i];
+        const double vi1 = neg - ws_.t2[i];
+        const double vi = vi1 - ws_.t3[i];
+        ws_.u[i] = uPrev_[i] + vi;
+    }
 
     // Saturate in physical units.
-    const Matrix u_unsat = u;
-    Matrix u_phys = model_.inputScaling.toPhysical(u);
+    ws_.uUnsat = ws_.u;
+    model_.inputScaling.toPhysicalInto(ws_.uPhys, ws_.u);
     bool saturated = false;
-    for (size_t i = 0; i < u_phys.rows(); ++i) {
-        if (u_phys[i] < limits_.lo[i]) {
-            u_phys[i] = limits_.lo[i];
+    for (size_t i = 0; i < ws_.uPhys.rows(); ++i) {
+        if (ws_.uPhys[i] < limits_.lo[i]) {
+            ws_.uPhys[i] = limits_.lo[i];
             saturated = true;
-        } else if (u_phys[i] > limits_.hi[i]) {
-            u_phys[i] = limits_.hi[i];
+        } else if (ws_.uPhys[i] > limits_.hi[i]) {
+            ws_.uPhys[i] = limits_.hi[i];
             saturated = true;
         }
     }
-    u = model_.inputScaling.toScaled(u_phys);
+    model_.inputScaling.toScaledInto(ws_.u, ws_.uPhys);
 
     // Mild back-calculation anti-windup: bleed a fraction of the
     // clipped input excess into the integrator. Full back-calculation
     // over-corrects here (the quantized plant re-excites it every
     // epoch); conditional integration below does the rest.
-    if (saturated)
-        zInt_ += design_.kzPinv * (u_unsat - u) * 0.1;
+    if (saturated) {
+        Matrix::subInto(ws_.awDiff, ws_.uUnsat, ws_.u);
+        Matrix::gemv(ws_.awCorr, design_.kzPinv, ws_.awDiff);
+        Matrix::axpy(zInt_, 0.1, ws_.awCorr);
+    }
 
     // Kalman update with the measurement and the *applied* input.
-    const Matrix innovation = y - model_.c * xHat_ - model_.d * u;
-    lastInnovationNorm_ = innovation.frobeniusNorm();
-    xHat_ = model_.a * xHat_ + model_.b * u +
-        design_.kalmanGain * innovation;
+    Matrix::gemv(ws_.cx, model_.c, xHat_);
+    Matrix::gemv(ws_.duFeed, model_.d, ws_.u);
+    for (size_t i = 0; i < ws_.inno.rows(); ++i) {
+        const double t = y[i] - ws_.cx[i];
+        ws_.inno[i] = t - ws_.duFeed[i];
+    }
+    lastInnovationNorm_ = ws_.inno.frobeniusNorm();
+    Matrix::gemv(ws_.ax, model_.a, xHat_);
+    Matrix::gemv(ws_.bu, model_.b, ws_.u);
+    Matrix::gemv(ws_.li, design_.kalmanGain, ws_.inno);
+    for (size_t i = 0; i < xHat_.rows(); ++i) {
+        const double t = ws_.ax[i] + ws_.bu[i];
+        xHat_[i] = t + ws_.li[i];
+    }
 
     // Integrate the tracking error, matching the design's
     // z+ = z - y + y0; pause while saturated (conditional integration)
     // and keep a generous safety bound.
-    if (!saturated)
-        zInt_ += y0Scaled_ - y;
+    if (!saturated) {
+        for (size_t i = 0; i < zInt_.rows(); ++i) {
+            const double t = y0Scaled_[i] - y[i];
+            zInt_[i] += t;
+        }
+    }
     for (size_t i = 0; i < zInt_.rows(); ++i)
         zInt_[i] = std::clamp(zInt_[i], -100.0, 100.0);
 
@@ -288,13 +348,13 @@ LqgServoController::step(const Matrix &y_physical)
         if (satStreak_ >= watchdogSteps_) {
             satStreak_ = 0;
             ++watchdogTrips_;
-            xHat_ = Matrix(model_.stateDim(), 1);
-            zInt_ = Matrix(model_.numOutputs(), 1);
+            xHat_.setZero();
+            zInt_.setZero();
         }
     }
 
-    uPrev_ = u;
-    return u_phys;
+    uPrev_ = ws_.u;
+    return ws_.uPhys;
 }
 
 bool

@@ -104,8 +104,15 @@ class LqgServoController
      * command is re-issued, and rejectedMeasurements() is incremented.
      * A single corrupt power sample must never poison the state
      * estimate or kill the loop.
+     *
+     * The returned reference points into a controller-owned buffer and
+     * is valid until the next step()/reset() call. Steady-state calls
+     * perform no heap allocation: all intermediates live in a
+     * preallocated workspace, and the per-element arithmetic follows
+     * the exact rounding sequence of the original expression form so
+     * golden-trace digests are unchanged.
      */
-    Matrix step(const Matrix &y_physical);
+    const Matrix &step(const Matrix &y_physical);
 
     /** Reset the estimator/integrator, keeping the design. */
     void reset(const Matrix &u_initial_physical);
@@ -176,6 +183,36 @@ class LqgServoController
     Matrix xHat_;
     Matrix uPrev_;
     Matrix zInt_;
+
+    /**
+     * Preallocated step() intermediates, sized once by init(). Owning
+     * them here (rather than as locals) is what makes the steady-state
+     * step allocation-free; see DESIGN.md §9 for the ownership policy.
+     */
+    struct StepWorkspace
+    {
+        Matrix yScaled;  //!< Scaled measurement.
+        Matrix dx;       //!< xHat - xSs.
+        Matrix duPrev;   //!< uPrev - uSs.
+        Matrix t1;       //!< Kx dx.
+        Matrix t2;       //!< Ku duPrev.
+        Matrix t3;       //!< Kz zInt.
+        Matrix u;        //!< Scaled command.
+        Matrix uUnsat;   //!< Command before saturation.
+        Matrix uPhys;    //!< Physical command (returned by reference).
+        Matrix awDiff;   //!< uUnsat - u (anti-windup excess).
+        Matrix awCorr;   //!< KzPinv awDiff.
+        Matrix cx;       //!< C xHat.
+        Matrix duFeed;   //!< D u.
+        Matrix inno;     //!< Kalman innovation.
+        Matrix ax;       //!< A xHat.
+        Matrix bu;       //!< B u.
+        Matrix li;       //!< L inno.
+    };
+    StepWorkspace ws_;
+
+    /** Size every workspace buffer (one-time allocations). */
+    void allocWorkspace();
     unsigned watchdogSteps_ = 100;
     unsigned satStreak_ = 0;
     unsigned long watchdogTrips_ = 0;

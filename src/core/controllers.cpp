@@ -45,7 +45,9 @@ MimoArchController::MimoArchController(const StateSpaceModel &model,
 KnobSettings
 MimoArchController::update(const Observation &obs)
 {
-    const Matrix u = lqg_.step(obs.y);
+    // step() returns a reference into the controller's workspace; the
+    // whole update is allocation-free in steady state.
+    const Matrix &u = lqg_.step(obs.y);
     last_ = knobs_.quantizeWithHysteresis(u, last_);
     return last_;
 }
@@ -95,15 +97,16 @@ DecoupledArchController::DecoupledArchController(
 KnobSettings
 DecoupledArchController::update(const Observation &obs)
 {
-    // Each SISO loop sees only its own output; no coordination.
-    const Matrix ips = Matrix::vector({obs.y[kOutputIps]});
-    const Matrix power = Matrix::vector({obs.y[kOutputPower]});
-    const Matrix cache_cmd = cacheCtrl_.step(ips);
-    const Matrix freq_cmd = freqCtrl_.step(power);
-    Matrix u(2, 1);
-    u[0] = freq_cmd[0];
-    u[1] = cache_cmd[0];
-    current_ = knobs_.quantizeWithHysteresis(u, current_);
+    // Each SISO loop sees only its own output; no coordination. The
+    // per-output vectors live in member buffers so the update stays
+    // allocation-free like the MIMO path.
+    ipsBuf_[0] = obs.y[kOutputIps];
+    powerBuf_[0] = obs.y[kOutputPower];
+    const Matrix &cache_cmd = cacheCtrl_.step(ipsBuf_);
+    const Matrix &freq_cmd = freqCtrl_.step(powerBuf_);
+    uBuf_[0] = freq_cmd[0];
+    uBuf_[1] = cache_cmd[0];
+    current_ = knobs_.quantizeWithHysteresis(uBuf_, current_);
     return current_;
 }
 

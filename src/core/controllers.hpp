@@ -162,6 +162,9 @@ class DecoupledArchController : public ArchController
     LqgServoController cacheCtrl_;
     LqgServoController freqCtrl_;
     KnobSettings current_;
+    Matrix ipsBuf_ = Matrix(1, 1);   //!< Per-update workspace.
+    Matrix powerBuf_ = Matrix(1, 1); //!< Per-update workspace.
+    Matrix uBuf_ = Matrix(2, 1);     //!< Combined command workspace.
 };
 
 /** Heuristic: ranked features with tuned thresholds. */

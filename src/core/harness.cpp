@@ -87,6 +87,19 @@ RunSummary
 EpochDriver::run(const KnobSettings &initial)
 {
     trace_ = EpochTrace{};
+    // One up-front reservation per trace series keeps the epoch loop
+    // free of reallocation (and of any heap traffic at all once the
+    // controller workspaces are warm).
+    trace_.ips.reserve(config_.epochs);
+    trace_.power.reserve(config_.epochs);
+    trace_.trueIps.reserve(config_.epochs);
+    trace_.truePower.reserve(config_.epochs);
+    trace_.refIps.reserve(config_.epochs);
+    trace_.refPower.reserve(config_.epochs);
+    trace_.freqLevel.reserve(config_.epochs);
+    trace_.cacheSetting.reserve(config_.epochs);
+    trace_.robPartitions.reserve(config_.epochs);
+    trace_.tier.reserve(config_.epochs);
     controller_.initialize(initial);
 
     // Warmup (the paper's fast-forward) at the initial settings.
@@ -108,14 +121,16 @@ EpochDriver::run(const KnobSettings &initial)
 
     unsigned long nonfinite_skips = 0;
 
+    // Hoisted out of the loop so its y buffer is reused every epoch.
+    Observation obs;
+
     for (size_t t = 0; t < config_.epochs; ++t) {
-        const Matrix y = plant_.step(settings);
+        const Matrix &y = plant_.step(settings);
 
         // What the hardware actually did: equals y unless a
         // fault-injecting plant corrupted the sensor path.
-        Matrix y_true = plant_.lastTrueOutputs();
-        if (y_true.empty())
-            y_true = y;
+        const Matrix &true_out = plant_.lastTrueOutputs();
+        const Matrix &y_true = true_out.empty() ? y : true_out;
 
         // Harden the loop against corrupt sensor epochs: a non-finite
         // IPS or power sample is counted and skipped — the settings are
@@ -131,7 +146,6 @@ EpochDriver::run(const KnobSettings &initial)
             ++nonfinite_skips;
         }
 
-        Observation obs;
         obs.y = y;
         obs.l2Mpki = plant_.lastL2Mpki();
         obs.ipc = plant_.lastIpc();

@@ -8,16 +8,15 @@ SimPlant::SimPlant(const AppSpec &app, const KnobSpace &knob_space,
       proc_(config, &stream_)
 {}
 
-Matrix
+const Matrix &
 SimPlant::step(const KnobSettings &settings)
 {
     knobs_.apply(proc_, settings);
     last_ = proc_.runEpoch();
     stream_.nextEpoch();
-    Matrix y(kNumPlantOutputs, 1);
-    y[kOutputIps] = last_.ips;
-    y[kOutputPower] = last_.powerWatts;
-    return y;
+    yOut_[kOutputIps] = last_.ips;
+    yOut_[kOutputPower] = last_.powerWatts;
+    return yOut_;
 }
 
 KnobSettings
@@ -33,6 +32,8 @@ SimPlant::warmup(size_t epochs)
         last_ = proc_.runEpoch();
         stream_.nextEpoch();
     }
+    yOut_[kOutputIps] = last_.ips;
+    yOut_[kOutputPower] = last_.powerWatts;
 }
 
 } // namespace mimoarch

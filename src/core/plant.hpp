@@ -36,9 +36,11 @@ class Plant
 
     /**
      * Apply @p settings, advance one controller epoch, and return the
-     * output vector [IPS, power].
+     * output vector [IPS, power]. The reference points into a
+     * plant-owned buffer and is valid until the next step() — this
+     * keeps the harness epoch loop allocation-free.
      */
-    virtual Matrix step(const KnobSettings &settings) = 0;
+    virtual const Matrix &step(const KnobSettings &settings) = 0;
 
     /** Current settings. */
     virtual KnobSettings currentSettings() const = 0;
@@ -48,9 +50,15 @@ class Plant
      * hardware actually did, as opposed to what the sensors reported.
      * Fault-injecting decorators override this so the harness can score
      * true tracking error; an empty matrix means "same as step()'s
-     * return" (the default for honest plants).
+     * return" (the default for honest plants). References a plant-owned
+     * buffer, valid until the next step().
      */
-    virtual Matrix lastTrueOutputs() const { return Matrix(); }
+    virtual const Matrix &
+    lastTrueOutputs() const
+    {
+        static const Matrix kNone;
+        return kNone;
+    }
 
     /** Auxiliary sensors from the last epoch (for heuristics/phases). */
     virtual double lastL2Mpki() const = 0;
@@ -77,7 +85,7 @@ class SimPlant : public Plant
              const ProcessorConfig &config = {}, uint64_t seed_salt = 0);
 
     const KnobSpace &knobs() const override { return knobs_; }
-    Matrix step(const KnobSettings &settings) override;
+    const Matrix &step(const KnobSettings &settings) override;
     KnobSettings currentSettings() const override;
 
     /** Warm caches/predictors: run epochs at the current settings
@@ -87,14 +95,7 @@ class SimPlant : public Plant
     /** Readout of the last epoch beyond (IPS, power). */
     const EpochOutputs &lastEpoch() const { return last_; }
 
-    Matrix
-    lastTrueOutputs() const override
-    {
-        Matrix y(kNumPlantOutputs, 1);
-        y[kOutputIps] = last_.ips;
-        y[kOutputPower] = last_.powerWatts;
-        return y;
-    }
+    const Matrix &lastTrueOutputs() const override { return yOut_; }
 
     double lastL2Mpki() const override { return last_.l2Mpki; }
     double lastIpc() const override { return last_.ipc; }
@@ -122,6 +123,7 @@ class SimPlant : public Plant
     SyntheticStream stream_;
     Processor proc_;
     EpochOutputs last_;
+    Matrix yOut_ = Matrix(kNumPlantOutputs, 1); //!< step() result buffer.
 };
 
 } // namespace mimoarch

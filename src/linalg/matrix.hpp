@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <initializer_list>
@@ -21,6 +22,19 @@
 #include <vector>
 
 #include "common/logging.hpp"
+
+/*
+ * Element-access checking policy: with MIMOARCH_CHECKED=1 every
+ * operator()/operator[] access panics on an out-of-range index; with 0
+ * it compiles down to the raw row-major index. The build sets this per
+ * configuration (ON for Debug/RelWithDebInfo and all sanitizer builds,
+ * OFF for Release and the release ctest leg); the fallback here keeps
+ * standalone compiles on the safe side. Shape checks on whole-matrix
+ * operations are once-per-call and stay on unconditionally.
+ */
+#ifndef MIMOARCH_CHECKED
+#define MIMOARCH_CHECKED 1
+#endif
 
 namespace mimoarch {
 
@@ -133,16 +147,20 @@ class MatrixT
     T &
     operator[](size_t i)
     {
+#if MIMOARCH_CHECKED
         if (cols_ != 1)
             panic("operator[] on a non-vector matrix");
+#endif
         return (*this)(i, 0);
     }
 
     const T &
     operator[](size_t i) const
     {
+#if MIMOARCH_CHECKED
         if (cols_ != 1)
             panic("operator[] on a non-vector matrix");
+#endif
         return (*this)(i, 0);
     }
 
@@ -252,7 +270,23 @@ class MatrixT
         return r;
     }
 
-    /** Matrix product. */
+    /**
+     * Matrix product.
+     *
+     * ACCUMULATION-ORDER CONTRACT: every product kernel in this header
+     * (operator*, mulInto, gemv) accumulates r(i, j) in (i, k, j) loop
+     * order with k ascending, starting from +0.0, with one rounding per
+     * multiply and one per add (multiplies and adds stay in separate
+     * statements so no fused multiply-add can form). The golden-trace
+     * digests (tests/data/golden_traces.txt) hash result doubles
+     * bit-for-bit, so any reordering, blocking, or fusion here is an
+     * observable break even when mathematically neutral. There is
+     * deliberately no zero-skip: skipping a(i, k) == 0 would be
+     * bit-identical for finite inputs (the accumulator starts at +0.0
+     * and can never become -0.0), but it silently drops 0 * NaN and
+     * 0 * Inf poison from a corrupted model matrix, which the fault
+     * detection layer relies on propagating.
+     */
     friend MatrixT
     operator*(const MatrixT &a, const MatrixT &b)
     {
@@ -264,13 +298,144 @@ class MatrixT
         for (size_t i = 0; i < a.rows_; ++i) {
             for (size_t k = 0; k < a.cols_; ++k) {
                 const T aik = a(i, k);
-                if (aik == T{})
-                    continue;
-                for (size_t j = 0; j < b.cols_; ++j)
-                    r(i, j) += aik * b(k, j);
+                for (size_t j = 0; j < b.cols_; ++j) {
+                    const T t = aik * b(k, j);
+                    r(i, j) += t;
+                }
             }
         }
         return r;
+    }
+
+    // ---- In-place kernels -------------------------------------------
+    // Allocation-free counterparts of the value-returning operators,
+    // for steady-state hot paths. `out` is reshaped without
+    // reallocating when its storage already holds rows * cols elements
+    // (a warm-up call pays any growth once); inputs must not alias
+    // `out` where noted. Product kernels follow the accumulation-order
+    // contract documented on operator*.
+
+    /** out = a * b. @p out must not alias an input. */
+    static void
+    mulInto(MatrixT &out, const MatrixT &a, const MatrixT &b)
+    {
+        if (a.cols_ != b.rows_) {
+            panic("mulInto shape mismatch: ", a.rows_, "x", a.cols_, " * ",
+                  b.rows_, "x", b.cols_);
+        }
+        if (&out == &a || &out == &b)
+            panic("mulInto: out aliases an input");
+        out.resizeShape(a.rows_, b.cols_);
+        std::fill(out.data_.begin(), out.data_.end(), T{});
+        const size_t n = b.cols_;
+        for (size_t i = 0; i < a.rows_; ++i) {
+            T *ri = &out.data_[i * n];
+            for (size_t k = 0; k < a.cols_; ++k) {
+                const T aik = a.data_[i * a.cols_ + k];
+                const T *bk = &b.data_[k * n];
+                for (size_t j = 0; j < n; ++j) {
+                    const T t = aik * bk[j];
+                    ri[j] += t;
+                }
+            }
+        }
+    }
+
+    /** out = a * x for a column vector x. @p out must not alias. */
+    static void
+    gemv(MatrixT &out, const MatrixT &a, const MatrixT &x)
+    {
+        if (x.cols_ != 1 || a.cols_ != x.rows_) {
+            panic("gemv shape mismatch: ", a.rows_, "x", a.cols_, " * ",
+                  x.rows_, "x", x.cols_);
+        }
+        if (&out == &a || &out == &x)
+            panic("gemv: out aliases an input");
+        out.resizeShape(a.rows_, 1);
+        for (size_t i = 0; i < a.rows_; ++i) {
+            const T *ai = &a.data_[i * a.cols_];
+            T s{};
+            for (size_t k = 0; k < a.cols_; ++k) {
+                const T t = ai[k] * x.data_[k];
+                s += t;
+            }
+            out.data_[i] = s;
+        }
+    }
+
+    /** out = a + b elementwise (out may alias either input). */
+    static void
+    addInto(MatrixT &out, const MatrixT &a, const MatrixT &b)
+    {
+        a.checkSameShape(b, "addInto");
+        out.resizeShape(a.rows_, a.cols_);
+        for (size_t i = 0; i < out.data_.size(); ++i)
+            out.data_[i] = a.data_[i] + b.data_[i];
+    }
+
+    /** out = a - b elementwise (out may alias either input). */
+    static void
+    subInto(MatrixT &out, const MatrixT &a, const MatrixT &b)
+    {
+        a.checkSameShape(b, "subInto");
+        out.resizeShape(a.rows_, a.cols_);
+        for (size_t i = 0; i < out.data_.size(); ++i)
+            out.data_[i] = a.data_[i] - b.data_[i];
+    }
+
+    /** out = transpose(a). @p out must not alias @p a. */
+    static void
+    transposeInto(MatrixT &out, const MatrixT &a)
+    {
+        if (&out == &a)
+            panic("transposeInto: out aliases the input");
+        out.resizeShape(a.cols_, a.rows_);
+        for (size_t r = 0; r < a.rows_; ++r)
+            for (size_t c = 0; c < a.cols_; ++c)
+                out.data_[c * a.rows_ + r] = a.data_[r * a.cols_ + c];
+    }
+
+    /** y += alpha * x elementwise (one rounding per multiply and add,
+     *  matching `y += x * alpha` on separate statements bit-for-bit). */
+    static void
+    axpy(MatrixT &y, T alpha, const MatrixT &x)
+    {
+        y.checkSameShape(x, "axpy");
+        for (size_t i = 0; i < y.data_.size(); ++i) {
+            const T t = alpha * x.data_[i];
+            y.data_[i] += t;
+        }
+    }
+
+    /** out = a * s elementwise (scaled copy feeding an accumulate). */
+    static void
+    scaleInto(MatrixT &out, const MatrixT &a, T s)
+    {
+        out.resizeShape(a.rows_, a.cols_);
+        for (size_t i = 0; i < out.data_.size(); ++i)
+            out.data_[i] = a.data_[i] * s;
+    }
+
+    /** Reset every element to zero, keeping shape and storage. */
+    void
+    setZero()
+    {
+        std::fill(data_.begin(), data_.end(), T{});
+    }
+
+    /**
+     * Reshape to r x c, reusing the existing storage when the element
+     * count already matches (no allocation); contents are zeroed only
+     * when the count changes. Workspace owners call this once at
+     * warm-up and rely on the no-allocation path afterwards.
+     */
+    void
+    resizeShape(size_t r, size_t c)
+    {
+        if (data_.size() != r * c)
+            data_.assign(r * c, T{});
+        rows_ = r;
+        cols_ = c;
     }
 
     /** Frobenius norm. */
@@ -324,10 +489,15 @@ class MatrixT
     void
     checkIndex(size_t r, size_t c) const
     {
+#if MIMOARCH_CHECKED
         if (r >= rows_ || c >= cols_) {
             panic("matrix index (", r, ",", c, ") out of range ", rows_, "x",
                   cols_);
         }
+#else
+        (void)r;
+        (void)c;
+#endif
     }
 
     void

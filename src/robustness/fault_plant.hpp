@@ -26,19 +26,18 @@ class FaultyPlant : public Plant
 
     const KnobSpace &knobs() const override { return inner_.knobs(); }
 
-    Matrix
+    const Matrix &
     step(const KnobSettings &settings) override
     {
         const KnobSettings applied =
             injector_.corruptActuators(epoch_, settings);
         trueY_ = inner_.step(applied);
-        const Matrix corrupted =
-            injector_.corruptSensors(epoch_, trueY_);
+        corrupted_ = injector_.corruptSensors(epoch_, trueY_);
         ++epoch_;
-        return corrupted;
+        return corrupted_;
     }
 
-    Matrix lastTrueOutputs() const override { return trueY_; }
+    const Matrix &lastTrueOutputs() const override { return trueY_; }
 
     KnobSettings
     currentSettings() const override
@@ -79,6 +78,7 @@ class FaultyPlant : public Plant
     Plant &inner_;
     FaultInjector injector_;
     Matrix trueY_;
+    Matrix corrupted_; //!< step() result buffer (sensor-corrupted view).
     size_t epoch_ = 0;
 };
 

@@ -17,6 +17,7 @@ SensorSanitizer::SensorSanitizer(const SensorSanitizerConfig &config)
             fatal("SensorSanitizer: empty range for channel ", c);
     }
     channels_.resize(config_.lo.size());
+    clean_.resizeShape(config_.lo.size(), 1);
 }
 
 SensorSanitizerConfig
@@ -124,7 +125,7 @@ SensorSanitizer::sanitizeChannel(size_t c, double v)
     return v;
 }
 
-Matrix
+const Matrix &
 SensorSanitizer::sanitize(const Matrix &y)
 {
     if (y.rows() != channels_.size() || y.cols() != 1) {
@@ -132,10 +133,9 @@ SensorSanitizer::sanitize(const Matrix &y)
               " x 1 measurement, got ", y.rows(), " x ", y.cols());
     }
     lastEpochClean_ = true;
-    Matrix clean = y;
     for (size_t c = 0; c < channels_.size(); ++c)
-        clean[c] = sanitizeChannel(c, y[c]);
-    return clean;
+        clean_[c] = sanitizeChannel(c, y[c]);
+    return clean_;
 }
 
 } // namespace mimoarch

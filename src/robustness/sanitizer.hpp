@@ -70,8 +70,12 @@ class SensorSanitizer
     /** Default policy for the [IPS, power] output convention. */
     static SensorSanitizerConfig archDefaults();
 
-    /** Clean @p y (O x 1); returns a finite, in-range vector. */
-    Matrix sanitize(const Matrix &y);
+    /**
+     * Clean @p y (O x 1); returns a finite, in-range vector. The
+     * reference points into a sanitizer-owned buffer (valid until the
+     * next call) so the per-epoch path performs no heap allocation.
+     */
+    const Matrix &sanitize(const Matrix &y);
 
     /** Forget all history (keeps the policy and the counters). */
     void reset();
@@ -101,6 +105,7 @@ class SensorSanitizer
     SensorSanitizerConfig config_;
     std::vector<Channel> channels_;
     SensorSanitizerStats stats_;
+    Matrix clean_; //!< Preallocated sanitize() result buffer.
     bool lastEpochClean_ = true;
 };
 

@@ -232,7 +232,11 @@ SupervisedController::health() const
 KnobSettings
 SupervisedController::update(const Observation &obs)
 {
-    Observation clean = obs;
+    // cleanObs_ is a member so the per-epoch update stays
+    // allocation-free: its y buffer is reused across epochs.
+    Observation &clean = cleanObs_;
+    clean.l2Mpki = obs.l2Mpki;
+    clean.ipc = obs.ipc;
     clean.y = sanitizer_.sanitize(obs.y);
 
     SupervisorSignals sig;

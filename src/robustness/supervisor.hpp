@@ -168,6 +168,7 @@ class SupervisedController : public ArchController
     SensorSanitizer sanitizer_;
     LoopSupervisor supervisor_;
     KnobSettings last_;
+    Observation cleanObs_; //!< Reused sanitized view (no per-epoch alloc).
 };
 
 } // namespace mimoarch

@@ -10,6 +10,15 @@ isPowerOfTwo(uint32_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+uint32_t
+log2Exact(uint32_t v)
+{
+    uint32_t shift = 0;
+    while ((uint32_t{1} << shift) < v)
+        ++shift;
+    return shift;
+}
+
 } // namespace
 
 Cache::Cache(const CacheConfig &config)
@@ -24,20 +33,10 @@ Cache::Cache(const CacheConfig &config)
               config_.sets());
     if (!isPowerOfTwo(config_.lineBytes))
         fatal("cache line size must be a power of two");
+    lineShift_ = log2Exact(config_.lineBytes);
+    setMask_ = config_.sets() - 1;
+    tagShift_ = lineShift_ + log2Exact(config_.sets());
     lines_.assign(size_t{config_.sets()} * config_.ways, Line{});
-}
-
-uint32_t
-Cache::setIndex(uint64_t addr) const
-{
-    return static_cast<uint32_t>((addr / config_.lineBytes) &
-                                 (config_.sets() - 1));
-}
-
-uint64_t
-Cache::tagOf(uint64_t addr) const
-{
-    return addr / config_.lineBytes / config_.sets();
 }
 
 bool
@@ -48,32 +47,34 @@ Cache::access(uint64_t addr, bool is_write)
     const uint64_t tag = tagOf(addr);
     ++lruClock_;
 
+    // One pass over the set resolves both the hit check and — should it
+    // miss — the victim choice (first invalid way, else the lowest-LRU
+    // way with the lowest index breaking ties, exactly as the original
+    // two-pass scan picked it).
+    Line *const base = &line(set, 0);
+    uint32_t victim = 0;
+    uint32_t best_lru = UINT32_MAX;
+    bool have_invalid = false;
     for (uint32_t w = 0; w < enabledWays_; ++w) {
-        Line &l = line(set, w);
+        Line &l = base[w];
         if (l.valid && l.tag == tag) {
             l.lru = lruClock_;
             l.dirty = l.dirty || is_write;
             return true;
         }
-    }
-
-    ++stats_.misses;
-    // Fill: pick an invalid way, else the LRU one.
-    uint32_t victim = 0;
-    uint32_t best_lru = UINT32_MAX;
-    for (uint32_t w = 0; w < enabledWays_; ++w) {
-        Line &l = line(set, w);
+        if (have_invalid)
+            continue;
         if (!l.valid) {
             victim = w;
-            best_lru = 0;
-            break;
-        }
-        if (l.lru < best_lru) {
+            have_invalid = true;
+        } else if (l.lru < best_lru) {
             best_lru = l.lru;
             victim = w;
         }
     }
-    Line &v = line(set, victim);
+
+    ++stats_.misses;
+    Line &v = base[victim];
     if (v.valid && v.dirty)
         ++stats_.writebacks;
     v.valid = true;
@@ -86,26 +87,31 @@ Cache::access(uint64_t addr, bool is_write)
 void
 Cache::prefetch(uint64_t addr)
 {
-    if (contains(addr))
-        return;
     const uint32_t set = setIndex(addr);
     const uint64_t tag = tagOf(addr);
-    ++lruClock_;
+    // Single fused presence + victim scan (same victim order as
+    // access()). A present line leaves all state untouched, matching
+    // the old contains() early-out — including the LRU clock.
+    Line *const base = &line(set, 0);
     uint32_t victim = 0;
     uint32_t best_lru = UINT32_MAX;
+    bool have_invalid = false;
     for (uint32_t w = 0; w < enabledWays_; ++w) {
-        Line &l = line(set, w);
+        Line &l = base[w];
+        if (l.valid && l.tag == tag)
+            return;
+        if (have_invalid)
+            continue;
         if (!l.valid) {
             victim = w;
-            best_lru = 0;
-            break;
-        }
-        if (l.lru < best_lru) {
+            have_invalid = true;
+        } else if (l.lru < best_lru) {
             best_lru = l.lru;
             victim = w;
         }
     }
-    Line &v = line(set, victim);
+    ++lruClock_;
+    Line &v = base[victim];
     if (v.valid && v.dirty)
         ++stats_.writebacks;
     v.valid = true;

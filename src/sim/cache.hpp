@@ -108,12 +108,22 @@ class Cache
         return lines_[set * config_.ways + way];
     }
 
-    uint32_t setIndex(uint64_t addr) const;
-    uint64_t tagOf(uint64_t addr) const;
+    // lineBytes and sets() are both verified powers of two at
+    // construction, so the index/tag divisions reduce to shifts.
+    uint32_t
+    setIndex(uint64_t addr) const
+    {
+        return static_cast<uint32_t>((addr >> lineShift_) & setMask_);
+    }
+
+    uint64_t tagOf(uint64_t addr) const { return addr >> tagShift_; }
 
     CacheConfig config_;
     uint32_t enabledWays_;
     uint32_t lruClock_ = 0;
+    uint32_t lineShift_ = 0; //!< log2(lineBytes).
+    uint32_t setMask_ = 0;   //!< sets() - 1.
+    uint32_t tagShift_ = 0;  //!< log2(lineBytes * sets()).
     std::vector<Line> lines_;
     CacheStats stats_;
 };

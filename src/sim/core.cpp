@@ -1,5 +1,7 @@
 #include "sim/core.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace mimoarch {
@@ -13,6 +15,11 @@ Core::Core(const CoreConfig &config, InstructionSource *source,
         fatal("Core needs an instruction source and a memory hierarchy");
     if (config_.robSizeMax == 0 || config_.issueWidth == 0)
         fatal("Core config: zero ROB size or issue width");
+    rob_.reset(config_.robSizeMax);
+    // fetchStage checks the cap before a fetch group, then pushes up to
+    // fetchWidth ops, so the queue can exceed the cap by one group.
+    fetchQueue_.reset(size_t{2} * config_.fetchWidth * config_.frontendDepth +
+                      config_.fetchWidth);
 }
 
 unsigned
@@ -71,6 +78,7 @@ Core::flushPipeline()
     fetchQueue_.clear();
     robHeadSeq_ += rob_.size();
     rob_.clear();
+    issuedPrefix_ = 0;
     loadsInFlight_ = 0;
     storesInFlight_ = 0;
     pendingBranchSeq_ = 0;
@@ -94,6 +102,8 @@ Core::commitStage()
         }
         rob_.pop_front();
         ++robHeadSeq_;
+        if (issuedPrefix_ > 0)
+            --issuedPrefix_;
         ++counters_.committed;
         ++committed;
     }
@@ -104,7 +114,14 @@ Core::issueStage(double freq_ghz)
 {
     unsigned issued = 0;
     unsigned alu = 0, muldiv = 0, fp = 0, ld = 0, st = 0;
-    for (RobEntry &e : rob_) {
+    // Skip the already-issued prefix. Issued entries carry no per-cycle
+    // side effects in this loop (the port counters only count ops newly
+    // issued this cycle), so starting past them is behaviour-preserving.
+    while (issuedPrefix_ < rob_.size() && rob_[issuedPrefix_].issued)
+        ++issuedPrefix_;
+    const size_t rob_size = rob_.size();
+    for (size_t idx = issuedPrefix_; idx < rob_size; ++idx) {
+        RobEntry &e = rob_[idx];
         if (issued >= config_.issueWidth)
             break;
         if (e.issued)

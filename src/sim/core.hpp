@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/bpred.hpp"
 #include "sim/instruction.hpp"
 #include "sim/memhier.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/stats.hpp"
 
 namespace mimoarch {
@@ -131,9 +131,18 @@ class Core
     uint64_t now_ = 0;
     uint64_t nextSeq_ = 1;
 
-    std::deque<FetchedOp> fetchQueue_;
-    std::deque<RobEntry> rob_; //!< Head at front; seq increases to back.
+    RingBuffer<FetchedOp> fetchQueue_;
+    RingBuffer<RobEntry> rob_; //!< Head at front; seq increases to back.
     uint64_t robHeadSeq_ = 1;  //!< seq of rob_.front() when non-empty.
+
+    /**
+     * Number of leading ROB entries known to be issued. Entries only
+     * gain `issued` (monotone per entry) and leave from the front, so
+     * issueStage can start its wakeup scan here instead of re-walking
+     * the issued prefix every cycle. Maintained by commitStage (pops)
+     * and flushPipeline (reset).
+     */
+    size_t issuedPrefix_ = 0;
 
     unsigned loadsInFlight_ = 0;
     unsigned storesInFlight_ = 0;

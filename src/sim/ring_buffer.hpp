@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer used for the core's in-flight-op queues
+ * (ROB, fetch queue). Replaces std::deque in the per-cycle hot loops:
+ * storage is one contiguous allocation sized once at construction, so
+ * pushes/pops never touch the heap and indexed access is a single
+ * wrap instead of a two-level block lookup.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+/**
+ * Contiguous FIFO with a hard capacity. Indexing is relative to the
+ * logical front: buf[0] is the oldest element, buf[size()-1] the
+ * newest, matching how std::deque was used.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    /** (Re)allocate for @p capacity elements and empty the buffer. */
+    void
+    reset(size_t capacity)
+    {
+        buf_.assign(capacity, T{});
+        head_ = 0;
+        count_ = 0;
+    }
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    size_t capacity() const { return buf_.size(); }
+
+    T &operator[](size_t i) { return buf_[wrap(head_ + i)]; }
+    const T &operator[](size_t i) const { return buf_[wrap(head_ + i)]; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    void
+    push_back(const T &v)
+    {
+        if (count_ == buf_.size())
+            panic("RingBuffer overflow (capacity ", buf_.size(), ")");
+        buf_[wrap(head_ + count_)] = v;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        if (count_ == 0)
+            panic("RingBuffer::pop_front on empty buffer");
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    /** Drop all elements (storage is kept). */
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    // Valid because every caller passes i < 2*capacity: head_ is
+    // always < capacity and the logical index is <= count_ <= capacity.
+    size_t
+    wrap(size_t i) const
+    {
+        return i >= buf_.size() ? i - buf_.size() : i;
+    }
+
+    std::vector<T> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace mimoarch

@@ -7,6 +7,14 @@
  * design flow, the controllers, or the harness that moves a single
  * bit of any series shows up here.
  *
+ * Since the allocation-free refactor, the controller and harness hot
+ * paths run through MatrixT's in-place kernels (mulInto, gemv, axpy,
+ * ...) rather than the allocating operators. The digests in
+ * tests/data/golden_traces.txt were recorded on the operator-based
+ * implementation and have deliberately NOT been regenerated: passing
+ * here proves the kernels preserve the original arithmetic bit for
+ * bit (the accumulation-order contract documented in matrix.hpp).
+ *
  * The digests are exact double bit patterns, so they are specific to
  * a toolchain/libm. Regenerate after an intentional numeric change
  * with:
