@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace mimoarch;
 using namespace mimoarch::bench;
@@ -143,23 +144,34 @@ main(int argc, char **argv)
             epochs = static_cast<size_t>(std::atol(next()));
         else if (arg == "--baseline")
             baseline_path = next();
+        else if (arg == "--telemetry")
+            sweep_opt.telemetry = next();
         else
             fatal("unknown argument: ", arg,
-                  " (--jobs N --apps N --epochs N --baseline FILE)");
+                  " (--jobs N --apps N --epochs N --baseline FILE "
+                  "--telemetry OUT.json)");
     }
 
     banner("Hot-path throughput (fig09-style sweep + controller microloop)");
     Metrics cur;
 
+    // Constructed before the phases so --telemetry traces all of them
+    // (the runner arms the trace buffer and writes the reports).
+    exec::SweepRunner runner(sweep_opt);
+
     // 1. Cold design flow (system identification + LQG design + RSA).
     const double t_design = nowMs();
-    const auto design = cachedDesign(false);
+    const auto design = [] {
+        telemetry::Span span("design-flow", "bench");
+        return cachedDesign(false);
+    }();
     cur.designFlowMs = nowMs() - t_design;
     std::printf("design flow:   %10.1f ms (cold DesignCache fill)\n",
                 cur.designFlowMs);
 
     // 2. Controller-step microloop on the standard dim-4 model.
     {
+        telemetry::Span span("controller-microloop", "bench");
         LqgWeights w;
         w.outputWeights = {10.0, 10000.0};
         w.inputWeights = {1000.0, 50.0};
@@ -188,7 +200,6 @@ main(int argc, char **argv)
     }
 
     // 3. The fig09-style sweep: MIMO + optimizer, one job per app.
-    exec::SweepRunner runner(sweep_opt);
     const ExperimentConfig cfg = benchConfig();
     const auto apps = figureAppOrder();
     if (n_apps > apps.size())

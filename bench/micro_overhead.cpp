@@ -14,6 +14,7 @@
 #include "core/controllers.hpp"
 #include "core/optimizer.hpp"
 #include "linalg/riccati.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mimoarch {
 namespace {
@@ -197,6 +198,61 @@ BM_DareSolve4x4(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DareSolve4x4);
+
+// --- Telemetry primitives: the per-epoch instrumentation budget. ---
+// These bound what the loop.* metrics in harness.cpp cost per epoch
+// (a handful of counter adds + histogram records + one Span). With
+// MIMOARCH_TELEMETRY=OFF every one of these collapses to a no-op.
+
+void
+BM_TelemetryCounterAdd(benchmark::State &state)
+{
+    telemetry::Counter &c =
+        telemetry::registry().counter("bench.counter");
+    for (auto _ : state) {
+        c.add(1);
+        benchmark::DoNotOptimize(&c);
+    }
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+
+void
+BM_TelemetryHistogramRecord(benchmark::State &state)
+{
+    telemetry::Histogram &h =
+        telemetry::registry().histogram("bench.histogram");
+    uint64_t v = 1;
+    for (auto _ : state) {
+        h.record(v);
+        v = v * 2862933555777941757ULL + 3037000493ULL; // cheap LCG
+        benchmark::DoNotOptimize(&h);
+    }
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
+
+void
+BM_TelemetrySpanUntraced(benchmark::State &state)
+{
+    // Tracing off, no latency histogram: the Span must skip the clock.
+    for (auto _ : state) {
+        telemetry::Span span("bench-span", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_TelemetrySpanUntraced);
+
+void
+BM_TelemetrySpanTimed(benchmark::State &state)
+{
+    // Tracing off but a latency sink attached: two clock reads + record.
+    telemetry::Histogram &h =
+        telemetry::registry().histogram("bench.span_ns");
+    for (auto _ : state) {
+        telemetry::Span span("bench-span", "bench", &h);
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_TelemetrySpanTimed);
 
 } // namespace
 } // namespace mimoarch

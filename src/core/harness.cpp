@@ -57,7 +57,33 @@ EpochDriver::EpochDriver(Plant &plant, ArchController &controller,
 {
     if (config_.epochs == 0)
         fatal("EpochDriver: zero epochs");
+    telemetry::Registry &reg = telemetry::registry();
+    tmEpochs_ = &reg.counter("loop.epochs");
+    tmKnobMoves_ = &reg.counter("loop.knob_moves");
+    tmNonfiniteSkips_ = &reg.counter("loop.nonfinite_skips");
+    tmEpochNs_ = &reg.histogram("loop.epoch_ns");
+    tmIpsErrBp_ = &reg.histogram("loop.ips_err_bp");
+    tmPowerErrBp_ = &reg.histogram("loop.power_err_bp");
 }
+
+namespace {
+
+/**
+ * Relative error as basis points for histogram bucketing. Non-finite
+ * inputs (a corrupt sensor epoch) would be UB to cast, so they clamp
+ * to the top bucket: "off scale", which is what they are.
+ */
+uint64_t
+relErrorBasisPoints(double measured, double reference)
+{
+    const double rel = std::abs(measured - reference) / reference;
+    constexpr double kCap = 1e12;
+    if (!(rel < kCap)) // catches NaN and +inf too
+        return static_cast<uint64_t>(kCap);
+    return static_cast<uint64_t>(rel * 1e4);
+}
+
+} // namespace
 
 long
 EpochDriver::steadyEpoch(const std::vector<unsigned> &values,
@@ -102,10 +128,16 @@ EpochDriver::run(const KnobSettings &initial)
     trace_.tier.reserve(config_.epochs);
     controller_.initialize(initial);
 
+    telemetry::Span run_span("run", "loop", nullptr, "epochs",
+                             static_cast<int64_t>(config_.epochs));
+
     // Warmup (the paper's fast-forward) at the initial settings.
     KnobSettings settings = initial;
-    for (size_t i = 0; i < config_.warmupEpochs; ++i)
-        plant_.step(settings);
+    {
+        telemetry::Span warmup_span("warmup", "loop");
+        for (size_t i = 0; i < config_.warmupEpochs; ++i)
+            plant_.step(settings);
+    }
 
     const double energy0 = plant_.totalEnergyJoules();
     const double time0 = plant_.elapsedSeconds();
@@ -125,6 +157,10 @@ EpochDriver::run(const KnobSettings &initial)
     Observation obs;
 
     for (size_t t = 0; t < config_.epochs; ++t) {
+        telemetry::Span epoch_span("epoch", "loop", tmEpochNs_, "epoch",
+                                   static_cast<int64_t>(t));
+        tmEpochs_->add(1);
+
         const Matrix &y = plant_.step(settings);
 
         // What the hardware actually did: equals y unless a
@@ -144,6 +180,7 @@ EpochDriver::run(const KnobSettings &initial)
                      "silently)");
             }
             ++nonfinite_skips;
+            tmNonfiniteSkips_->add(1);
         }
 
         obs.y = y;
@@ -173,8 +210,12 @@ EpochDriver::run(const KnobSettings &initial)
             opt->observe(y);
         }
 
-        if (y_finite)
+        if (y_finite) {
+            const KnobSettings previous = settings;
             settings = controller_.update(obs);
+            if (!(settings == previous))
+                tmKnobMoves_->add(1);
+        }
 
         // Tracking-error accounting against the *current* references,
         // scored on the true outputs (a controller chasing corrupted
@@ -185,6 +226,12 @@ EpochDriver::run(const KnobSettings &initial)
             ref_power = qoe_->targets().power;
         } else {
             std::tie(ref_ips, ref_power) = controller_.reference();
+        }
+        if (ref_ips > 0 && ref_power > 0) {
+            tmIpsErrBp_->record(
+                relErrorBasisPoints(y_true[kOutputIps], ref_ips));
+            tmPowerErrBp_->record(
+                relErrorBasisPoints(y_true[kOutputPower], ref_power));
         }
         if (t >= config_.errorSkipEpochs && ref_ips > 0 &&
             ref_power > 0 && !config_.useOptimizer) {

@@ -19,6 +19,7 @@
 #include "core/phase_detect.hpp"
 #include "core/plant.hpp"
 #include "core/qoe.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mimoarch {
 
@@ -143,6 +144,16 @@ class EpochDriver
     DriverConfig config_;
     QoeBatteryModel *qoe_;
     EpochTrace trace_;
+
+    // Loop telemetry (see src/telemetry). Registered once at
+    // construction; recording in the epoch loop is a few relaxed
+    // atomics — and compiles away entirely with MIMOARCH_TELEMETRY=0.
+    telemetry::Counter *tmEpochs_;
+    telemetry::Counter *tmKnobMoves_;
+    telemetry::Counter *tmNonfiniteSkips_;
+    telemetry::Histogram *tmEpochNs_;
+    telemetry::Histogram *tmIpsErrBp_;
+    telemetry::Histogram *tmPowerErrBp_;
 };
 
 } // namespace mimoarch

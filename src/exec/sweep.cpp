@@ -6,10 +6,19 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mimoarch::exec {
 
 namespace {
+
+/**
+ * Trace capacity a --telemetry run arms the global buffer with: room
+ * for the per-epoch events of a full 23-app x 4-arch x 2000-epoch
+ * figure sweep. Overflow drops (and counts) rather than reallocating.
+ */
+constexpr size_t kTraceCapacity = size_t{1} << 19;
 
 unsigned
 parseJobCount(const char *text, const char *flag)
@@ -38,10 +47,17 @@ parseSweepArgs(int argc, char **argv)
             opt.jobs = parseJobCount(arg + 7, "--jobs");
         } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
             opt.jobs = parseJobCount(arg + 2, "-j");
+        } else if (std::strcmp(arg, "--telemetry") == 0) {
+            if (i + 1 >= argc)
+                fatal(arg, ": missing output path");
+            opt.telemetry = argv[++i];
+        } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
+            opt.telemetry = arg + 12;
         } else {
             fatal("unknown argument '", arg,
-                  "' (benches accept --jobs N; default: hardware "
-                  "concurrency)");
+                  "' (benches accept --jobs N and --telemetry "
+                  "OUT.json; default: hardware concurrency, no "
+                  "telemetry reports)");
         }
     }
     return opt;
@@ -50,13 +66,27 @@ parseSweepArgs(int argc, char **argv)
 SweepRunner::SweepRunner(const SweepOptions &options)
     : jobs_(options.jobs > 0 ? options.jobs
                              : ThreadPool::hardwareThreads()),
-      progress_(options.progress)
+      progress_(options.progress), telemetryPath_(options.telemetry)
 {
+    if (!telemetryPath_.empty() && !telemetry::trace().enabled()) {
+        telemetry::trace().start(kTraceCapacity);
+        armedTrace_ = true;
+    }
     if (jobs_ > 1)
         pool_ = std::make_unique<ThreadPool>(jobs_);
 }
 
-SweepRunner::~SweepRunner() = default;
+SweepRunner::~SweepRunner()
+{
+    // Reports are written after the pool is gone: workers have joined,
+    // so the trace buffer and registry are quiescent (and the pool's
+    // shutdown-time utilization gauges are in).
+    pool_.reset();
+    if (!telemetryPath_.empty())
+        telemetry::writeReports(telemetryPath_);
+    else if (armedTrace_)
+        telemetry::trace().stop();
+}
 
 void
 SweepRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
@@ -75,6 +105,8 @@ SweepRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
     if (!pool_) {
         // Serial reference semantics: in order, on this thread.
         for (size_t i = 0; i < n; ++i) {
+            telemetry::Span job_span("job", "sweep", nullptr, "job",
+                                     static_cast<int64_t>(i));
             fn(i);
             tick(i);
         }
@@ -84,6 +116,8 @@ SweepRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
     std::vector<std::exception_ptr> errors(n);
     for (size_t i = 0; i < n; ++i) {
         pool_->submit([&, i] {
+            telemetry::Span job_span("job", "sweep", nullptr, "job",
+                                     static_cast<int64_t>(i));
             try {
                 fn(i);
             } catch (...) {

@@ -54,16 +54,25 @@ jobSeed(const JobKey &key)
     return h.value();
 }
 
-/** Sweep-wide execution options (the --jobs knob). */
+/** Sweep-wide execution options (the --jobs and --telemetry knobs). */
 struct SweepOptions
 {
     unsigned jobs = 0;     //!< Worker threads; 0 = hardware concurrency.
     bool progress = false; //!< Per-job completion ticks on stderr.
+    /**
+     * Non-empty arms the global telemetry trace buffer for the
+     * runner's lifetime and, at destruction, writes a Chrome trace to
+     * this path plus a flat metrics sidecar next to it (see
+     * src/telemetry/export.hpp). Ignored (with a warning) when the
+     * telemetry layer is compiled out.
+     */
+    std::string telemetry;
 };
 
 /**
- * Parse sweep flags from a bench's argv: --jobs N / --jobs=N / -jN.
- * Unknown arguments are fatal (benches take no other arguments).
+ * Parse sweep flags from a bench's argv: --jobs N / --jobs=N / -jN and
+ * --telemetry PATH / --telemetry=PATH. Unknown arguments are fatal
+ * (benches take no other arguments).
  */
 SweepOptions parseSweepArgs(int argc, char **argv);
 
@@ -102,6 +111,8 @@ class SweepRunner
   private:
     unsigned jobs_;
     bool progress_;
+    std::string telemetryPath_; //!< Empty = no report on destruction.
+    bool armedTrace_ = false;   //!< This runner started the trace.
     std::unique_ptr<ThreadPool> pool_; //!< Null when jobs_ == 1.
 };
 

@@ -24,6 +24,11 @@ ThreadPool::hardwareThreads()
 ThreadPool::ThreadPool(unsigned threads)
 {
     const unsigned n = threads > 0 ? threads : hardwareThreads();
+    telemetry::Registry &reg = telemetry::registry();
+    tmQueueNs_ = &reg.histogram("exec.queue_ns");
+    tmTaskNs_ = &reg.histogram("exec.task_ns");
+    tmTasks_ = &reg.counter("exec.tasks");
+    bornNs_ = telemetry::nowNs();
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
         workers_.push_back(std::make_unique<Worker>());
@@ -42,6 +47,22 @@ ThreadPool::~ThreadPool()
     workAvailable_.notify_all();
     for (std::thread &t : threads_)
         t.join();
+
+    // Utilization over the pool's lifetime, per worker. Only the most
+    // recent pool's gauges survive in a multi-pool process — the sweep
+    // engine owns one pool per sweep, which is what we want to see.
+    const uint64_t lifetime = telemetry::nowNs() - bornNs_;
+    telemetry::Registry &reg = telemetry::registry();
+    reg.gauge("exec.pool.workers")
+        .set(static_cast<double>(workers_.size()));
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        const double util = lifetime > 0
+            ? static_cast<double>(workers_[i]->busyNs) /
+                static_cast<double>(lifetime)
+            : 0.0;
+        reg.gauge("exec.worker." + std::to_string(i) + ".utilization")
+            .set(util);
+    }
 }
 
 void
@@ -57,7 +78,7 @@ ThreadPool::submit(std::function<void()> task)
     {
         Worker &w = *workers_[target];
         std::lock_guard<std::mutex> lk(w.mutex);
-        w.queue.push_back(std::move(task));
+        w.queue.push_back(Task{std::move(task), telemetry::nowNs()});
     }
     {
         std::lock_guard<std::mutex> lk(stateMutex_);
@@ -76,7 +97,7 @@ ThreadPool::wait()
     allDone_.wait(lk, [this] { return pending_ == 0; });
 }
 
-std::function<void()>
+ThreadPool::Task
 ThreadPool::acquireTask(size_t self)
 {
     for (;;) {
@@ -122,14 +143,20 @@ ThreadPool::workerLoop(size_t self)
             }
             --queued_; // reserve one task; acquireTask() finds it
         }
-        std::function<void()> task = acquireTask(self);
+        Task task = acquireTask(self);
+        const uint64_t t0 = telemetry::nowNs();
+        tmQueueNs_->record(t0 - task.submitNs);
+        tmTasks_->add(1);
         try {
-            task();
+            task.fn();
         } catch (const std::exception &e) {
             panic("ThreadPool task threw: ", e.what());
         } catch (...) {
             panic("ThreadPool task threw a non-exception");
         }
+        const uint64_t dur = telemetry::nowNs() - t0;
+        tmTaskNs_->record(dur);
+        workers_[self]->busyNs += dur;
         {
             std::lock_guard<std::mutex> lk(stateMutex_);
             --pending_;

@@ -18,11 +18,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace mimoarch::exec {
 
@@ -56,10 +59,20 @@ class ThreadPool
     static unsigned hardwareThreads();
 
   private:
+    /** A queued task plus its enqueue timestamp (queue-latency metric). */
+    struct Task
+    {
+        std::function<void()> fn;
+        uint64_t submitNs = 0;
+    };
+
     struct Worker
     {
-        std::deque<std::function<void()>> queue;
+        std::deque<Task> queue;
         std::mutex mutex;
+        /** Nanoseconds spent running tasks on this worker's thread.
+         *  Written only by the owning thread; read after join(). */
+        uint64_t busyNs = 0;
     };
 
     void workerLoop(size_t self);
@@ -70,10 +83,18 @@ class ThreadPool
      * queues (FIFO steal). Loops until a task is found — a reservation
      * guarantees one exists or is in flight to a queue.
      */
-    std::function<void()> acquireTask(size_t self);
+    Task acquireTask(size_t self);
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
+
+    // Pool telemetry: queue latency (submit -> claim) and task runtime
+    // histograms, plus per-worker utilization gauges written at
+    // shutdown. All no-ops when MIMOARCH_TELEMETRY=0.
+    telemetry::Histogram *tmQueueNs_;
+    telemetry::Histogram *tmTaskNs_;
+    telemetry::Counter *tmTasks_;
+    uint64_t bornNs_ = 0;
 
     std::mutex stateMutex_;
     std::condition_variable workAvailable_; //!< Wakes idle workers.

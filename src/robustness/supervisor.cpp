@@ -189,6 +189,11 @@ SupervisedController::SupervisedController(
     if (!primary_ || !fallback_)
         fatal("SupervisedController: need a primary and a fallback");
     last_ = safe_;
+    telemetry::Registry &reg = telemetry::registry();
+    tmResets_ = &reg.counter("supervisor.estimator_resets");
+    tmFallbacks_ = &reg.counter("supervisor.fallback_entries");
+    tmSafePins_ = &reg.counter("supervisor.safe_pins");
+    tmPromotions_ = &reg.counter("supervisor.promotions");
 }
 
 void
@@ -212,6 +217,7 @@ SupervisedController::initialize(const KnobSettings &initial)
     sanitizer_.reset();
     supervisor_.reset();
     last_ = initial;
+    lastTier_ = 0;
 }
 
 ControllerHealth
@@ -257,6 +263,42 @@ SupervisedController::update(const Observation &obs)
     sig.relTrackingError = rel;
 
     const SupervisorDecision d = supervisor_.evaluate(sig);
+
+    // Ladder telemetry: every transition is a counter bump and — when
+    // the trace buffer is armed — an Instant event carrying the tier
+    // the ladder landed on.
+    {
+        telemetry::TraceBuffer &tb = telemetry::trace();
+        const unsigned tier_now = static_cast<unsigned>(d.tier);
+        if (d.resetEstimator) {
+            tmResets_->add(1);
+            if (tb.enabled())
+                tb.instant("estimator-reset", "supervisor",
+                           telemetry::nowNs(), "tier",
+                           static_cast<int64_t>(tier_now));
+        }
+        if (d.enteredFallback) {
+            tmFallbacks_->add(1);
+            if (tb.enabled())
+                tb.instant("fallback", "supervisor", telemetry::nowNs(),
+                           "tier", static_cast<int64_t>(tier_now));
+        }
+        if (d.tier == DegradationTier::SafePin &&
+            lastTier_ != static_cast<unsigned>(DegradationTier::SafePin)) {
+            tmSafePins_->add(1);
+            if (tb.enabled())
+                tb.instant("safe-pin", "supervisor", telemetry::nowNs(),
+                           "tier", static_cast<int64_t>(tier_now));
+        }
+        if (d.promoted) {
+            tmPromotions_->add(1);
+            if (tb.enabled())
+                tb.instant("promoted", "supervisor", telemetry::nowNs(),
+                           "tier", static_cast<int64_t>(tier_now));
+        }
+        lastTier_ = tier_now;
+    }
+
     if (d.promoted && d.tier == DegradationTier::Nominal) {
         // Back from fallback: restart the servo from the settings the
         // fallback actually left the hardware in.

@@ -31,6 +31,7 @@
 
 #include "core/controllers.hpp"
 #include "robustness/sanitizer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mimoarch {
 
@@ -169,6 +170,15 @@ class SupervisedController : public ArchController
     LoopSupervisor supervisor_;
     KnobSettings last_;
     Observation cleanObs_; //!< Reused sanitized view (no per-epoch alloc).
+
+    // Ladder telemetry: tier transitions become counters plus Instant
+    // trace events, so a Chrome trace of a faulted run shows exactly
+    // when the loop degraded and recovered.
+    telemetry::Counter *tmResets_;
+    telemetry::Counter *tmFallbacks_;
+    telemetry::Counter *tmSafePins_;
+    telemetry::Counter *tmPromotions_;
+    unsigned lastTier_ = 0; //!< For edge detection (SafePin entry).
 };
 
 } // namespace mimoarch

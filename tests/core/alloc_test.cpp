@@ -18,6 +18,7 @@
 #include "core/controllers.hpp"
 #include "core/harness.hpp"
 #include "core/plant.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/spec_suite.hpp"
 
 namespace {
@@ -123,6 +124,28 @@ TEST(AllocationFree, MimoControllerUpdateMakesZeroAllocations)
         << "MimoArchController::update() allocated per step";
 }
 
+/** Allocations made inside one driver.run() of @p epochs epochs
+ *  (construction/setup costs are deliberately outside the window). */
+uint64_t
+harnessRunAllocCount(size_t epochs)
+{
+    const KnobSpace knobs(false);
+    MimoArchController ctrl(dim4Model(), paperWeights(), knobs);
+    ctrl.setReference(1.8, 1.9);
+    SimPlant plant(Spec2006Suite::byName("mcf"), knobs);
+    DriverConfig dcfg;
+    dcfg.epochs = epochs;
+    dcfg.warmupEpochs = 50;
+    dcfg.errorSkipEpochs = 100;
+    EpochDriver driver(plant, ctrl, dcfg);
+    KnobSettings init;
+    init.freqLevel = 3;
+    init.cacheSetting = 1;
+    const uint64_t before = allocCount();
+    driver.run(init);
+    return allocCount() - before;
+}
+
 /**
  * Steady-state proof for the whole harness loop: run the same
  * experiment at 600 and at 1200 epochs from identical fresh state.
@@ -132,30 +155,50 @@ TEST(AllocationFree, MimoControllerUpdateMakesZeroAllocations)
  */
 TEST(AllocationFree, HarnessEpochIsAllocationFreeInSteadyState)
 {
-    const auto run_alloc_count = [](size_t epochs) -> uint64_t {
-        const KnobSpace knobs(false);
-        MimoArchController ctrl(dim4Model(), paperWeights(), knobs);
-        ctrl.setReference(1.8, 1.9);
-        SimPlant plant(Spec2006Suite::byName("mcf"), knobs);
-        DriverConfig dcfg;
-        dcfg.epochs = epochs;
-        dcfg.warmupEpochs = 50;
-        dcfg.errorSkipEpochs = 100;
-        EpochDriver driver(plant, ctrl, dcfg);
-        KnobSettings init;
-        init.freqLevel = 3;
-        init.cacheSetting = 1;
-        const uint64_t before = allocCount();
-        driver.run(init);
-        return allocCount() - before;
-    };
-
-    const uint64_t short_run = run_alloc_count(600);
-    const uint64_t long_run = run_alloc_count(1200);
+    const uint64_t short_run = harnessRunAllocCount(600);
+    const uint64_t long_run = harnessRunAllocCount(1200);
     EXPECT_EQ(long_run, short_run)
         << "the extra 600 epochs allocated "
         << (long_run - short_run) << " times — the epoch loop is not "
            "allocation-free in steady state";
+}
+
+/**
+ * The same proof with the telemetry layer live: metrics recording and
+ * an armed trace buffer must add ZERO steady-state allocations. The
+ * buffer is sized up front (that allocation happens here, outside the
+ * measured window); every epoch then claims preallocated slots only.
+ * Compiles and passes with MIMOARCH_TELEMETRY=0 too, where the calls
+ * below are no-ops and this collapses to the test above.
+ */
+TEST(AllocationFree, TelemetryInstrumentedEpochLoopStaysAllocationFree)
+{
+    // Room for both runs' spans (run + warmup + one per epoch).
+    telemetry::trace().start(size_t{1} << 13);
+    const uint64_t short_run = harnessRunAllocCount(600);
+    const uint64_t long_run = harnessRunAllocCount(1200);
+    telemetry::trace().stop();
+    EXPECT_EQ(telemetry::trace().dropped(), 0u);
+    telemetry::trace().clear();
+    EXPECT_EQ(long_run, short_run)
+        << "with telemetry armed, the extra 600 epochs allocated "
+        << (long_run - short_run)
+        << " times — recording is not allocation-free";
+}
+
+/**
+ * Telemetry being armed or disarmed must not change what the epoch
+ * loop allocates: the Span/record calls never touch the heap either
+ * way, so the totals are identical, not merely length-independent.
+ */
+TEST(AllocationFree, ArmingTelemetryDoesNotChangeAllocationCount)
+{
+    const uint64_t disarmed = harnessRunAllocCount(600);
+    telemetry::trace().start(size_t{1} << 12);
+    const uint64_t armed = harnessRunAllocCount(600);
+    telemetry::trace().stop();
+    telemetry::trace().clear();
+    EXPECT_EQ(armed, disarmed);
 }
 
 } // namespace

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Differential test for the fused hit+victim scan in Cache::access()
+ * and Cache::prefetch(): a deliberately naive reference cache (separate
+ * hit pass, then a separate victim pass) replays the same randomized
+ * address streams — with way-gating changes and prefetches interleaved
+ * — and every statistic, LRU decision, and residency answer must agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/cache.hpp"
+
+namespace mimoarch {
+namespace {
+
+/** Two-pass LRU model mirroring the documented replacement policy:
+ *  first invalid way, else the lowest-LRU way (lowest index on ties). */
+class NaiveCache
+{
+  public:
+    explicit NaiveCache(const CacheConfig &config)
+        : config_(config), enabledWays_(config.ways),
+          lines_(size_t{config.sets()} * config.ways)
+    {
+    }
+
+    bool
+    access(uint64_t addr, bool is_write)
+    {
+        ++stats_.accesses;
+        ++lruClock_;
+        const uint32_t set = setIndex(addr);
+        const uint64_t tag = tagOf(addr);
+        // Pass 1: hit check.
+        for (uint32_t w = 0; w < enabledWays_; ++w) {
+            Line &l = line(set, w);
+            if (l.valid && l.tag == tag) {
+                l.lru = lruClock_;
+                l.dirty = l.dirty || is_write;
+                return true;
+            }
+        }
+        // Pass 2: victim selection.
+        ++stats_.misses;
+        Line &v = line(set, pickVictim(set));
+        if (v.valid && v.dirty)
+            ++stats_.writebacks;
+        v = Line{tag, lruClock_, true, is_write};
+        return false;
+    }
+
+    void
+    prefetch(uint64_t addr)
+    {
+        const uint32_t set = setIndex(addr);
+        const uint64_t tag = tagOf(addr);
+        for (uint32_t w = 0; w < enabledWays_; ++w) {
+            const Line &l = line(set, w);
+            if (l.valid && l.tag == tag)
+                return; // present: no state change at all
+        }
+        ++lruClock_;
+        Line &v = line(set, pickVictim(set));
+        if (v.valid && v.dirty)
+            ++stats_.writebacks;
+        v = Line{tag, lruClock_, true, false};
+    }
+
+    bool
+    contains(uint64_t addr) const
+    {
+        const uint32_t set = setIndex(addr);
+        const uint64_t tag = tagOf(addr);
+        for (uint32_t w = 0; w < enabledWays_; ++w) {
+            const Line &l = line(set, w);
+            if (l.valid && l.tag == tag)
+                return true;
+        }
+        return false;
+    }
+
+    uint64_t
+    setEnabledWays(uint32_t ways)
+    {
+        uint64_t flushed_dirty = 0;
+        for (uint32_t set = 0; ways < enabledWays_ && set < config_.sets();
+             ++set) {
+            for (uint32_t w = ways; w < enabledWays_; ++w) {
+                Line &l = line(set, w);
+                if (l.valid) {
+                    ++stats_.gatingFlushes;
+                    if (l.dirty) {
+                        ++flushed_dirty;
+                        ++stats_.writebacks;
+                    }
+                    l = Line{};
+                }
+            }
+        }
+        enabledWays_ = ways;
+        return flushed_dirty;
+    }
+
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint32_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint32_t
+    pickVictim(uint32_t set) const
+    {
+        for (uint32_t w = 0; w < enabledWays_; ++w)
+            if (!lines_[size_t{set} * config_.ways + w].valid)
+                return w;
+        uint32_t victim = 0;
+        uint32_t best = UINT32_MAX;
+        for (uint32_t w = 0; w < enabledWays_; ++w) {
+            const Line &l = lines_[size_t{set} * config_.ways + w];
+            if (l.lru < best) {
+                best = l.lru;
+                victim = w;
+            }
+        }
+        return victim;
+    }
+
+    Line &
+    line(uint32_t set, uint32_t way)
+    {
+        return lines_[size_t{set} * config_.ways + way];
+    }
+    const Line &
+    line(uint32_t set, uint32_t way) const
+    {
+        return lines_[size_t{set} * config_.ways + way];
+    }
+
+    uint32_t
+    setIndex(uint64_t addr) const
+    {
+        return static_cast<uint32_t>(addr / config_.lineBytes) %
+            config_.sets();
+    }
+
+    uint64_t
+    tagOf(uint64_t addr) const
+    {
+        return addr / (uint64_t{config_.lineBytes} * config_.sets());
+    }
+
+    CacheConfig config_;
+    uint32_t enabledWays_;
+    uint32_t lruClock_ = 0;
+    std::vector<Line> lines_;
+    CacheStats stats_;
+};
+
+void
+expectStatsEqual(const CacheStats &a, const CacheStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.writebacks, b.writebacks);
+    EXPECT_EQ(a.gatingFlushes, b.gatingFlushes);
+}
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 4 * 1024; // 16 sets x 4 ways x 64 B: collisions galore
+    cfg.ways = 4;
+    cfg.lineBytes = 64;
+    return cfg;
+}
+
+TEST(CacheReferenceTest, RandomStreamMatchesNaiveModel)
+{
+    const CacheConfig cfg = smallConfig();
+    Cache fused(cfg);
+    NaiveCache naive(cfg);
+    std::mt19937_64 rng(7);
+    // A 256-line footprint over a 64-line cache keeps hits, misses,
+    // evictions and dirty writebacks all frequent.
+    std::uniform_int_distribution<uint64_t> addr(0, 16 * 1024 - 1);
+    for (int i = 0; i < 50000; ++i) {
+        const uint64_t a = addr(rng);
+        const bool is_write = (rng() & 3) == 0;
+        ASSERT_EQ(fused.access(a, is_write), naive.access(a, is_write))
+            << "step " << i << " addr " << a;
+    }
+    expectStatsEqual(fused.stats(), naive.stats());
+    // Residency must agree line by line across the whole footprint.
+    for (uint64_t a = 0; a < 16 * 1024; a += cfg.lineBytes)
+        ASSERT_EQ(fused.contains(a), naive.contains(a)) << "addr " << a;
+}
+
+TEST(CacheReferenceTest, PrefetchStreamMatchesNaiveModel)
+{
+    const CacheConfig cfg = smallConfig();
+    Cache fused(cfg);
+    NaiveCache naive(cfg);
+    std::mt19937_64 rng(11);
+    std::uniform_int_distribution<uint64_t> addr(0, 16 * 1024 - 1);
+    for (int i = 0; i < 50000; ++i) {
+        const uint64_t a = addr(rng);
+        switch (rng() % 4) {
+        case 0:
+            fused.prefetch(a);
+            naive.prefetch(a);
+            break;
+        default: {
+            const bool is_write = (rng() & 3) == 0;
+            ASSERT_EQ(fused.access(a, is_write),
+                      naive.access(a, is_write))
+                << "step " << i;
+            break;
+        }
+        }
+    }
+    // Prefetches do not count as accesses/misses, so equal stats here
+    // also pin that the fused prefetch stays statistics-neutral.
+    expectStatsEqual(fused.stats(), naive.stats());
+    for (uint64_t a = 0; a < 16 * 1024; a += cfg.lineBytes)
+        ASSERT_EQ(fused.contains(a), naive.contains(a)) << "addr " << a;
+}
+
+TEST(CacheReferenceTest, WayGatingChangesMatchNaiveModel)
+{
+    const CacheConfig cfg = smallConfig();
+    Cache fused(cfg);
+    NaiveCache naive(cfg);
+    std::mt19937_64 rng(13);
+    std::uniform_int_distribution<uint64_t> addr(0, 16 * 1024 - 1);
+    const uint32_t way_schedule[] = {4, 2, 1, 3, 4, 1, 4};
+    for (uint32_t ways : way_schedule) {
+        EXPECT_EQ(fused.setEnabledWays(ways),
+                  naive.setEnabledWays(ways));
+        for (int i = 0; i < 5000; ++i) {
+            const uint64_t a = addr(rng);
+            const bool is_write = (rng() & 1) == 0;
+            ASSERT_EQ(fused.access(a, is_write),
+                      naive.access(a, is_write))
+                << "ways " << ways << " step " << i;
+        }
+        expectStatsEqual(fused.stats(), naive.stats());
+    }
+    for (uint64_t a = 0; a < 16 * 1024; a += cfg.lineBytes)
+        ASSERT_EQ(fused.contains(a), naive.contains(a)) << "addr " << a;
+}
+
+} // namespace
+} // namespace mimoarch

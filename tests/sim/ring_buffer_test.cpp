@@ -1,0 +1,176 @@
+/**
+ * @file
+ * RingBuffer unit tests: wrap-around correctness against a deque
+ * reference, the issued-prefix indexing pattern the core's ROB walk
+ * relies on, and the full/empty edge behavior (hard panics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+
+#include "sim/ring_buffer.hpp"
+
+namespace mimoarch {
+namespace {
+
+TEST(RingBufferTest, StartsEmptyWithZeroCapacity)
+{
+    RingBuffer<int> rb;
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 0u);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, ResetSetsCapacityAndEmpties)
+{
+    RingBuffer<int> rb;
+    rb.reset(8);
+    EXPECT_EQ(rb.capacity(), 8u);
+    EXPECT_TRUE(rb.empty());
+
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.reset(4);
+    EXPECT_EQ(rb.capacity(), 4u);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, FifoOrderAcrossWrap)
+{
+    RingBuffer<int> rb;
+    rb.reset(4);
+    // Advance head so subsequent pushes wrap the physical end.
+    for (int cycle = 0; cycle < 10; ++cycle) {
+        rb.push_back(cycle);
+        EXPECT_EQ(rb.front(), cycle);
+        rb.pop_front();
+    }
+    rb.push_back(100);
+    rb.push_back(101);
+    rb.push_back(102);
+    rb.push_back(103); // fills to capacity across the wrap point
+    EXPECT_EQ(rb.size(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(rb[i], 100 + static_cast<int>(i));
+    EXPECT_EQ(rb.front(), 100);
+    rb.pop_front();
+    EXPECT_EQ(rb.front(), 101);
+    EXPECT_EQ(rb.size(), 3u);
+}
+
+TEST(RingBufferTest, IndexingMatchesDequeReference)
+{
+    // Randomized push/pop schedule, every element checked through
+    // operator[] after each step — the access pattern the per-cycle
+    // ROB and fetch-queue loops use.
+    RingBuffer<uint64_t> rb;
+    std::deque<uint64_t> ref;
+    const size_t cap = 16;
+    rb.reset(cap);
+    std::mt19937_64 rng(12345);
+    uint64_t next = 0;
+    for (int step = 0; step < 2000; ++step) {
+        const bool can_push = rb.size() < cap;
+        const bool can_pop = !rb.empty();
+        const bool push =
+            can_push && (!can_pop || (rng() & 1) == 0);
+        if (push) {
+            rb.push_back(next);
+            ref.push_back(next);
+            ++next;
+        } else if (can_pop) {
+            EXPECT_EQ(rb.front(), ref.front());
+            rb.pop_front();
+            ref.pop_front();
+        }
+        ASSERT_EQ(rb.size(), ref.size());
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(rb[i], ref[i]) << "index " << i;
+    }
+}
+
+TEST(RingBufferTest, IssuedPrefixPattern)
+{
+    // The core walks the ROB as an issued prefix: entries [0, issued)
+    // are in flight, [issued, size) are waiting. Retirement pops the
+    // front and shifts the prefix; the logical indices must stay
+    // consistent through wrap-around.
+    struct Op
+    {
+        uint64_t seq = 0;
+        bool issued = false;
+    };
+    RingBuffer<Op> rob;
+    rob.reset(6);
+    uint64_t seq = 0;
+    uint64_t retired = 0;
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        // Dispatch up to capacity.
+        while (rob.size() < rob.capacity())
+            rob.push_back(Op{seq++, false});
+        // Issue the first two waiting entries.
+        size_t issued_this_cycle = 0;
+        for (size_t i = 0; i < rob.size() && issued_this_cycle < 2; ++i) {
+            if (!rob[i].issued) {
+                rob[i].issued = true;
+                ++issued_this_cycle;
+            }
+        }
+        // Retire from the front while issued. The issued flags must
+        // form a prefix: a waiting op never precedes an issued one.
+        bool seen_waiting = false;
+        for (size_t i = 0; i < rob.size(); ++i) {
+            if (!rob[i].issued)
+                seen_waiting = true;
+            else
+                ASSERT_FALSE(seen_waiting)
+                    << "issued op after a waiting op at index " << i;
+        }
+        while (!rob.empty() && rob.front().issued) {
+            ASSERT_EQ(rob.front().seq, retired);
+            ++retired;
+            rob.pop_front();
+        }
+    }
+    EXPECT_GT(retired, 0u);
+}
+
+TEST(RingBufferTest, ClearKeepsCapacity)
+{
+    RingBuffer<int> rb;
+    rb.reset(4);
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 4u);
+    rb.push_back(7);
+    EXPECT_EQ(rb.front(), 7);
+}
+
+TEST(RingBufferDeathTest, OverflowPanics)
+{
+    RingBuffer<int> rb;
+    rb.reset(2);
+    rb.push_back(1);
+    rb.push_back(2);
+    EXPECT_DEATH(rb.push_back(3), "RingBuffer overflow");
+}
+
+TEST(RingBufferDeathTest, PopEmptyPanics)
+{
+    RingBuffer<int> rb;
+    rb.reset(2);
+    EXPECT_DEATH(rb.pop_front(), "pop_front on empty");
+}
+
+TEST(RingBufferDeathTest, ZeroCapacityPushPanics)
+{
+    RingBuffer<int> rb;
+    EXPECT_DEATH(rb.push_back(1), "RingBuffer overflow");
+}
+
+} // namespace
+} // namespace mimoarch

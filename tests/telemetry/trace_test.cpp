@@ -1,0 +1,150 @@
+/**
+ * @file
+ * TraceBuffer and Span behavior: event recording, overflow drops,
+ * clear/stop semantics, and the Span RAII sinks (trace events and
+ * latency histograms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace mimoarch::telemetry {
+namespace {
+
+TEST(TraceBufferTest, RecordsCompleteAndInstantEvents)
+{
+    TraceBuffer tb;
+    EXPECT_FALSE(tb.enabled());
+    tb.start(8);
+    EXPECT_TRUE(tb.enabled());
+
+    tb.complete("phase", "cat", 1000, 250, "k", 7);
+    tb.instant("mark", "cat", 2000);
+    tb.stop();
+    EXPECT_FALSE(tb.enabled());
+
+    ASSERT_EQ(tb.size(), 2u);
+    const TraceEvent &c = tb[0];
+    EXPECT_STREQ(c.name, "phase");
+    EXPECT_STREQ(c.category, "cat");
+    EXPECT_EQ(c.tsNs, 1000u);
+    EXPECT_EQ(c.durNs, 250u);
+    EXPECT_STREQ(c.argKey, "k");
+    EXPECT_EQ(c.argValue, 7);
+    EXPECT_EQ(c.type, EventType::Complete);
+
+    const TraceEvent &i = tb[1];
+    EXPECT_STREQ(i.name, "mark");
+    EXPECT_EQ(i.tsNs, 2000u);
+    EXPECT_EQ(i.argKey, nullptr);
+    EXPECT_EQ(i.type, EventType::Instant);
+}
+
+TEST(TraceBufferTest, DisabledBufferDropsNothingAndRecordsNothing)
+{
+    TraceBuffer tb;
+    tb.instant("ignored", "cat", 1);
+    EXPECT_EQ(tb.size(), 0u);
+    EXPECT_EQ(tb.dropped(), 0u);
+}
+
+TEST(TraceBufferTest, OverflowDropsAndCounts)
+{
+    TraceBuffer tb;
+    tb.start(4);
+    for (int i = 0; i < 10; ++i)
+        tb.instant("e", "cat", static_cast<uint64_t>(i));
+    tb.stop();
+    EXPECT_EQ(tb.size(), 4u);
+    EXPECT_EQ(tb.dropped(), 6u);
+    // The first capacity-many events are the ones kept.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(tb[i].tsNs, i);
+}
+
+TEST(TraceBufferTest, ClearKeepsCapacityAndState)
+{
+    TraceBuffer tb;
+    tb.start(4);
+    for (int i = 0; i < 10; ++i)
+        tb.instant("e", "cat", 0);
+    tb.clear();
+    EXPECT_EQ(tb.size(), 0u);
+    EXPECT_EQ(tb.dropped(), 0u);
+    EXPECT_TRUE(tb.enabled());
+    tb.instant("after", "cat", 5);
+    ASSERT_EQ(tb.size(), 1u);
+    EXPECT_STREQ(tb[0].name, "after");
+    tb.stop();
+}
+
+TEST(TraceBufferDeathTest, ZeroCapacityStartIsFatal)
+{
+    TraceBuffer tb;
+    EXPECT_EXIT(tb.start(0), testing::ExitedWithCode(1),
+                "TraceBuffer");
+}
+
+TEST(SpanTest, RecordsLatencyWithoutTracing)
+{
+    ASSERT_FALSE(trace().enabled());
+    Histogram h;
+    {
+        Span span("work", "test", &h);
+    }
+    const HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 1u);
+}
+
+TEST(SpanTest, EmitsTraceEventWhenArmed)
+{
+    TraceBuffer &tb = trace();
+    tb.start(16);
+    {
+        Span span("stage", "test", nullptr, "idx", 3);
+    }
+    tb.stop();
+    ASSERT_EQ(tb.size(), 1u);
+    EXPECT_STREQ(tb[0].name, "stage");
+    EXPECT_STREQ(tb[0].category, "test");
+    EXPECT_STREQ(tb[0].argKey, "idx");
+    EXPECT_EQ(tb[0].argValue, 3);
+    EXPECT_EQ(tb[0].type, EventType::Complete);
+    tb.clear();
+}
+
+TEST(SpanTest, FeedsBothSinksWhenBothActive)
+{
+    Histogram h;
+    TraceBuffer &tb = trace();
+    tb.start(16);
+    {
+        Span span("stage", "test", &h);
+    }
+    tb.stop();
+    EXPECT_EQ(tb.size(), 1u);
+    EXPECT_EQ(h.snapshot().count, 1u);
+    // The histogram saw the same duration the trace event carries.
+    EXPECT_EQ(h.snapshot().sum, tb[0].durNs);
+    tb.clear();
+}
+
+TEST(TelemetryTest, NowNsIsMonotone)
+{
+    const uint64_t a = nowNs();
+    const uint64_t b = nowNs();
+    EXPECT_LE(a, b);
+}
+
+TEST(TelemetryTest, ThreadIdIsStablePerThread)
+{
+    const uint32_t a = threadId();
+    const uint32_t b = threadId();
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace mimoarch::telemetry
