@@ -48,6 +48,10 @@ digest(const EpochTrace &t)
     unsigneds(t.cacheSetting);
     unsigneds(t.robPartitions);
     unsigneds(t.tier);
+    h.u64(t.health.tier).u64(t.health.sanitizedMeasurements)
+        .u64(t.health.rejectedMeasurements).u64(t.health.estimatorResets)
+        .u64(t.health.fallbackEntries).u64(t.health.safePins)
+        .u64(t.health.repromotions).u64(t.health.watchdogTrips);
     return h.value();
 }
 
@@ -256,6 +260,7 @@ EpochDriver::run(const KnobSettings &initial)
     RunSummary s;
     s.nonFiniteSkips = nonfinite_skips;
     s.health = controller_.health();
+    trace_.health = s.health;
     if (err_samples) {
         s.avgIpsErrorPct = 100.0 * err_ips / static_cast<double>(err_samples);
         s.avgPowerErrorPct =

@@ -36,6 +36,14 @@ struct EpochTrace
     std::vector<unsigned> cacheSetting;
     std::vector<unsigned> robPartitions;
     std::vector<unsigned> tier; //!< Supervisor degradation tier.
+
+    /**
+     * Controller-side robustness counters as they stood at the end of
+     * the run, folded into digest(EpochTrace) so supervisor-state
+     * regressions (sanitizer repairs, resets, demotions the per-epoch
+     * tier series cannot distinguish) are caught by the replay suite.
+     */
+    ControllerHealth health{};
 };
 
 /** Aggregate results of one controlled run. */
