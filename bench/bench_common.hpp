@@ -59,13 +59,25 @@ cachedSisoModels()
     return exec::DesignCache::instance().sisoModels(benchConfig());
 }
 
-/** Parse bench argv (--jobs N) into sweep options with progress on. */
+/** Parse bench argv (--jobs N, resilience and chaos flags) into sweep
+ *  options with progress on. */
 inline exec::SweepOptions
 benchSweepOptions(int argc, char **argv)
 {
     exec::SweepOptions opt = exec::parseSweepArgs(argc, argv);
     opt.progress = true;
     return opt;
+}
+
+/**
+ * The journal/fingerprint identity benches sweep under: the bench
+ * ExperimentConfig's fingerprint, so a --resume journal recorded by one
+ * bench configuration refuses to feed a different one.
+ */
+inline uint64_t
+benchFingerprint()
+{
+    return benchConfig().fingerprint();
 }
 
 /** The paper's initial condition for tracking runs: 20%/30% off. */

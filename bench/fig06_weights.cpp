@@ -55,9 +55,14 @@ main(int argc, char **argv)
         {"Size", 1.0, 0.1, 1000.0},
     };
 
-    const std::vector<RunSummary> rows = runner.map<RunSummary>(
-        sets.size(), [&](size_t i) {
-            const WeightSet &ws = sets[i];
+    std::vector<exec::JobKey> keys;
+    for (const WeightSet &ws : sets)
+        keys.push_back({"namd", ws.label, 0, 0});
+    const std::vector<RunSummary> rows =
+        runner
+            .mapJobs<RunSummary>(keys, benchFingerprint(),
+                                 [&](const exec::JobContext &ctx) {
+            const WeightSet &ws = sets[ctx.index];
             const KnobSpace knobs(false);
             LqgWeights w = design->weights;
             w.outputWeights = {cfg.ipsWeight,
@@ -73,6 +78,7 @@ main(int argc, char **argv)
             DriverConfig dcfg;
             dcfg.epochs = 2500;
             dcfg.errorSkipEpochs = 300;
+            dcfg.cancel = &ctx.cancel;
             EpochDriver driver(plant, ctrl, dcfg);
             RunSummary sum = driver.run(offTargetStart());
 
@@ -96,7 +102,8 @@ main(int argc, char **argv)
                 sum.steadyEpochCache = -1;
             }
             return sum;
-        });
+        })
+            .results;
 
     CsvTable table({"weights", "steady_epoch_freq", "steady_epoch_cache",
                     "avg_ips_err_pct", "avg_power_err_pct"});

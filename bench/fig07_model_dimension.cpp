@@ -32,8 +32,16 @@ main(int argc, char **argv)
     const std::vector<AppSpec> val_apps = Spec2006Suite::validationSet();
     const size_t n_train = train_apps.size();
 
-    const std::vector<SysIdRecord> records = runner.map<SysIdRecord>(
-        n_train + val_apps.size(), [&](size_t i) {
+    std::vector<exec::JobKey> rec_keys;
+    for (const AppSpec &app : train_apps)
+        rec_keys.push_back({app.name, "sysid-train", 0, 0});
+    for (const AppSpec &app : val_apps)
+        rec_keys.push_back({app.name, "sysid-validate", 0, 0});
+    const std::vector<SysIdRecord> records =
+        runner
+            .mapJobs<SysIdRecord>(rec_keys, benchFingerprint(),
+                                  [&](const exec::JobContext &ctx) {
+            const size_t i = ctx.index;
             if (i < n_train) {
                 const AppSpec &app = train_apps[i];
                 SimPlant plant(app, knobs);
@@ -46,7 +54,8 @@ main(int argc, char **argv)
             return flow.collectRecord(plant, cfg.validationEpochsPerApp,
                                       sysidSeed("fig07-validate",
                                                 app.name));
-        });
+        })
+            .results;
 
     const std::vector<SysIdRecord> train_recs(records.begin(),
                                               records.begin() +
@@ -89,14 +98,20 @@ main(int argc, char **argv)
         MimoControllerDesign::concatenate(val_aligned);
 
     const std::vector<size_t> dims = {2, 4, 6, 8};
+    std::vector<exec::JobKey> fit_keys;
+    for (const size_t d : dims)
+        fit_keys.push_back({"", "fit", d, 0});
     const std::vector<ValidationReport> reports =
-        runner.map<ValidationReport>(dims.size(), [&](size_t i) {
+        runner
+            .mapJobs<ValidationReport>(fit_keys, benchFingerprint(),
+                                       [&](const exec::JobContext &ctx) {
             ArxConfig acfg;
-            acfg.order = (dims[i] + 1) / 2;
+            acfg.order = (dims[ctx.index] + 1) / 2;
             const StateSpaceModel model =
                 identify(train.u, train.y, acfg);
             return validateModel(model, val.u, val.y);
-        });
+        })
+            .results;
 
     CsvTable table({"dimension", "max_err_ips_pct", "max_err_power_pct",
                     "mean_err_ips_pct", "mean_err_power_pct"});

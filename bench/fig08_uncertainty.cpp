@@ -75,8 +75,15 @@ main(int argc, char **argv)
         long steadyCache = 0;
         double scale = 0;
     };
-    const std::vector<Row> rows = runner.map<Row>(
-        variants.size() * apps.size(), [&](size_t i) {
+    std::vector<exec::JobKey> keys;
+    for (size_t v = 0; v < variants.size(); ++v)
+        for (const std::string &app : apps)
+            keys.push_back({app, variants[v].label, v, 0});
+    const std::vector<Row> rows =
+        runner
+            .mapJobs<Row>(keys, benchFingerprint(),
+                          [&](const exec::JobContext &ctx) {
+            const size_t i = ctx.index;
             const Variant &v = variants[i / apps.size()];
             const std::string &app = apps[i % apps.size()];
             const KnobSpace knobs(false);
@@ -91,10 +98,12 @@ main(int argc, char **argv)
             SimPlant plant(Spec2006Suite::byName(app), knobs);
             DriverConfig dcfg;
             dcfg.epochs = 1800;
+            dcfg.cancel = &ctx.cancel;
             EpochDriver driver(plant, ctrl, dcfg);
             const RunSummary sum = driver.run(offTargetStart());
             return Row{sum.steadyEpochFreq, sum.steadyEpochCache, scale};
-        });
+        })
+            .results;
 
     CsvTable table({"guardband", "app", "steady_epoch_freq",
                     "steady_epoch_cache", "weight_scale"});

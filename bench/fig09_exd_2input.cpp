@@ -29,9 +29,14 @@ main(int argc, char **argv)
     {
         double ratios[3] = {0, 0, 0};
     };
-    const std::vector<Row> rows = runner.map<Row>(
-        apps.size(), [&](size_t i) {
-            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+    std::vector<exec::JobKey> keys;
+    for (const std::string &app : apps)
+        keys.push_back({app, "exd-2input", 0, 0});
+    const std::vector<Row> rows =
+        runner
+            .mapJobs<Row>(keys, benchFingerprint(),
+                          [&](const exec::JobContext &ctx) {
+            const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
 
@@ -39,6 +44,7 @@ main(int argc, char **argv)
             FixedController fixed(baselineSettings());
             DriverConfig bcfg;
             bcfg.epochs = epochs;
+            bcfg.cancel = &ctx.cancel;
             EpochDriver bd(pb, fixed, bcfg);
             const double base = bd.run(baselineSettings()).exdMetric(2);
 
@@ -58,12 +64,14 @@ main(int argc, char **argv)
                 dcfg.epochs = epochs;
                 dcfg.useOptimizer = a != 1; // heuristic searches itself
                 dcfg.optimizer.metricExponent = 2;
+                dcfg.cancel = &ctx.cancel;
                 EpochDriver driver(plant, *ctrls[a], dcfg);
                 const RunSummary sum = driver.run(baselineSettings());
                 row.ratios[a] = sum.exdMetric(2) / base;
             }
             return row;
-        });
+        })
+            .results;
 
     CsvTable table({"app", "mimo", "heuristic", "decoupled"});
     std::printf("%-11s %10s %10s %10s\n", "app", "MIMO", "Heuristic",

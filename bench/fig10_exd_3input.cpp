@@ -28,9 +28,14 @@ main(int argc, char **argv)
     {
         double ratios[2] = {0, 0};
     };
-    const std::vector<Row> rows = runner.map<Row>(
-        apps.size(), [&](size_t i) {
-            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+    std::vector<exec::JobKey> keys;
+    for (const std::string &app : apps)
+        keys.push_back({app, "exd-3input", 0, 0});
+    const std::vector<Row> rows =
+        runner
+            .mapJobs<Row>(keys, benchFingerprint(),
+                          [&](const exec::JobContext &ctx) {
+            const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
             const KnobSpace knobs(true);
             const MimoControllerDesign flow(knobs, cfg);
 
@@ -38,6 +43,7 @@ main(int argc, char **argv)
             FixedController fixed(baselineSettings());
             DriverConfig bcfg;
             bcfg.epochs = epochs;
+            bcfg.cancel = &ctx.cancel;
             EpochDriver bd(pb, fixed, bcfg);
             const double base = bd.run(baselineSettings()).exdMetric(2);
 
@@ -54,12 +60,14 @@ main(int argc, char **argv)
                 dcfg.epochs = epochs;
                 dcfg.useOptimizer = a == 0;
                 dcfg.optimizer.metricExponent = 2;
+                dcfg.cancel = &ctx.cancel;
                 EpochDriver driver(plant, *ctrls[a], dcfg);
                 const RunSummary sum = driver.run(baselineSettings());
                 row.ratios[a] = sum.exdMetric(2) / base;
             }
             return row;
-        });
+        })
+            .results;
 
     CsvTable table({"app", "mimo", "heuristic"});
     std::printf("%-11s %10s %10s\n", "app", "MIMO", "Heuristic");

@@ -29,9 +29,14 @@ main(int argc, char **argv)
         double ips[3] = {0, 0, 0};
         double power[3] = {0, 0, 0};
     };
-    const std::vector<Row> rows = runner.map<Row>(
-        apps.size(), [&](size_t i) {
-            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+    std::vector<exec::JobKey> keys;
+    for (const std::string &app : apps)
+        keys.push_back({app, "tracking", 0, 0});
+    const std::vector<Row> rows =
+        runner
+            .mapJobs<Row>(keys, benchFingerprint(),
+                          [&](const exec::JobContext &ctx) {
+            const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
 
@@ -51,13 +56,15 @@ main(int argc, char **argv)
                 DriverConfig dcfg;
                 dcfg.epochs = 1800;
                 dcfg.errorSkipEpochs = 300;
+                dcfg.cancel = &ctx.cancel;
                 EpochDriver driver(plant, *ctrls[a], dcfg);
                 const RunSummary sum = driver.run(offTargetStart());
                 row.ips[a] = sum.avgIpsErrorPct;
                 row.power[a] = sum.avgPowerErrorPct;
             }
             return row;
-        });
+        })
+            .results;
 
     const char *arch_names[3] = {"MIMO", "Heuristic", "Decoupled"};
     CsvTable table({"app", "responsive", "arch", "ips_err_pct",

@@ -28,10 +28,16 @@ main(int argc, char **argv)
 
     // Job (app, arch) -> the run's full trace; rows land in a fixed
     // slot so the emitted series are schedule-independent.
-    const std::vector<EpochTrace> traces = runner.map<EpochTrace>(
-        apps.size() * 3, [&](size_t i) {
-            const std::string &name = apps[i / 3];
-            const size_t a = i % 3;
+    std::vector<exec::JobKey> keys;
+    for (const std::string &app : apps)
+        for (size_t a = 0; a < 3; ++a)
+            keys.push_back({app, arch_names[a], a, 0});
+    const std::vector<EpochTrace> traces =
+        runner
+            .mapJobs<EpochTrace>(keys, benchFingerprint(),
+                                 [&](const exec::JobContext &ctx) {
+            const std::string &name = ctx.key.app;
+            const size_t a = ctx.key.config;
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
 
@@ -53,10 +59,12 @@ main(int argc, char **argv)
             SimPlant plant(Spec2006Suite::byName(name), knobs);
             DriverConfig dcfg;
             dcfg.epochs = epochs;
+            dcfg.cancel = &ctx.cancel;
             EpochDriver driver(plant, *ctrls[a], dcfg, &battery);
             driver.run(KnobSettings{});
             return driver.trace();
-        });
+        })
+            .results;
 
     for (size_t ai = 0; ai < apps.size(); ++ai) {
         const std::string &name = apps[ai];

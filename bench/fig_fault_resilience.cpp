@@ -67,7 +67,8 @@ struct Cell
 
 RunResult
 runOne(const AppSpec &app, const KnobSpace &knobs, ArchController &ctrl,
-       const FaultScheduleConfig &faults, const ExperimentConfig &cfg)
+       const FaultScheduleConfig &faults, const ExperimentConfig &cfg,
+       const CancellationToken *cancel)
 {
     ctrl.setReference(cfg.ipsReference, cfg.powerReference);
     SimPlant plant(app, knobs);
@@ -75,6 +76,7 @@ runOne(const AppSpec &app, const KnobSpace &knobs, ArchController &ctrl,
     DriverConfig dcfg;
     dcfg.epochs = kEpochs;
     dcfg.errorSkipEpochs = kErrorSkip;
+    dcfg.cancel = cancel;
     EpochDriver driver(faulty, ctrl, dcfg);
     RunResult r;
     r.sum = driver.run(offTargetStart());
@@ -131,10 +133,16 @@ main(int argc, char **argv)
     const auto apps = figureAppOrder();
     const size_t n_apps = apps.size();
 
-    std::vector<Cell> cells = runner.map<Cell>(
-        5 * n_apps, [&](size_t i) {
-            const size_t ri = i / n_apps;
-            const size_t ai = i % n_apps;
+    std::vector<exec::JobKey> keys;
+    for (size_t ri = 0; ri < 5; ++ri)
+        for (const std::string &app : apps)
+            keys.push_back({app, "fault-sweep", ri, 0});
+    std::vector<Cell> cells =
+        runner
+            .mapJobs<Cell>(keys, benchFingerprint(),
+                           [&](const exec::JobContext &ctx) {
+            const size_t ri = ctx.index / n_apps;
+            const size_t ai = ctx.index % n_apps;
             const AppSpec &app = Spec2006Suite::byName(apps[ai]);
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
@@ -151,9 +159,11 @@ main(int argc, char **argv)
                                         &heuristic};
             Cell cell;
             for (int a = 0; a < 3; ++a)
-                cell.runs[a] = runOne(app, knobs, *ctrls[a], faults, cfg);
+                cell.runs[a] = runOne(app, knobs, *ctrls[a], faults, cfg,
+                                      &ctx.cancel);
             return cell;
-        });
+        })
+            .results;
 
     // Divergence flags from the rate-0 yardstick. The fault-free pass
     // itself can only "diverge" by going non-finite.

@@ -99,6 +99,10 @@ struct Metrics
     double epochsPerSec = 0.0;
     double sweepChecksum = 0.0;
     double peakRssMbVal = 0.0;
+    double telemetryOffMs = 0.0;  //!< A/B loop, trace disarmed.
+    double telemetryOnMs = 0.0;   //!< A/B loop, trace armed.
+    double telemetryOverheadPct = 0.0;
+    double telemetryRssDeltaMb = 0.0; //!< Peak-RSS cost of arming.
 };
 
 void
@@ -115,7 +119,30 @@ writeJson(std::FILE *f, const char *indent, const Metrics &m)
                  m.epochsPerSec);
     std::fprintf(f, "%s\"sweep_checksum\": %.17g,\n", indent,
                  m.sweepChecksum);
+    std::fprintf(f, "%s\"telemetry_off_ms\": %.3f,\n", indent,
+                 m.telemetryOffMs);
+    std::fprintf(f, "%s\"telemetry_on_ms\": %.3f,\n", indent,
+                 m.telemetryOnMs);
+    std::fprintf(f, "%s\"telemetry_overhead_pct\": %.2f,\n", indent,
+                 m.telemetryOverheadPct);
+    std::fprintf(f, "%s\"telemetry_rss_delta_mb\": %.2f,\n", indent,
+                 m.telemetryRssDeltaMb);
     std::fprintf(f, "%s\"peak_rss_mb\": %.2f\n", indent, m.peakRssMbVal);
+}
+
+/** One serial FixedController run for the telemetry A/B loop. */
+double
+telemetryProbeRun(size_t probe_epochs)
+{
+    const KnobSpace knobs(false);
+    SimPlant plant(Spec2006Suite::byName("namd"), knobs);
+    FixedController fixed(baselineSettings());
+    DriverConfig dcfg;
+    dcfg.epochs = probe_epochs;
+    EpochDriver driver(plant, fixed, dcfg);
+    const double t0 = nowMs();
+    (void)driver.run(baselineSettings());
+    return nowMs() - t0;
 }
 
 } // namespace
@@ -204,10 +231,15 @@ main(int argc, char **argv)
     const auto apps = figureAppOrder();
     if (n_apps > apps.size())
         n_apps = apps.size();
+    std::vector<exec::JobKey> keys;
+    for (size_t i = 0; i < n_apps; ++i)
+        keys.push_back({apps[i], "hotpath", 0, 0});
     const double t_sweep = nowMs();
-    const std::vector<double> exd = runner.map<double>(
-        n_apps, [&](size_t i) {
-            const AppSpec &app = Spec2006Suite::byName(apps[i]);
+    const std::vector<double> exd =
+        runner
+            .mapJobs<double>(keys, benchFingerprint(),
+                             [&](const exec::JobContext &ctx) {
+            const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
             auto mimo = flow.buildController(*design);
@@ -216,9 +248,11 @@ main(int argc, char **argv)
             dcfg.epochs = epochs;
             dcfg.useOptimizer = true;
             dcfg.optimizer.metricExponent = 2;
+            dcfg.cancel = &ctx.cancel;
             EpochDriver driver(plant, *mimo, dcfg);
             return driver.run(baselineSettings()).exdMetric(2);
-        });
+        })
+            .results;
     cur.sweepWallMs = nowMs() - t_sweep;
     const double total_epochs =
         static_cast<double>(n_apps) * static_cast<double>(epochs);
@@ -232,6 +266,35 @@ main(int argc, char **argv)
                 cur.epochsPerSec);
     std::printf("peak RSS:      %10.2f MB\n", cur.peakRssMbVal);
     std::printf("sweep checksum: %.17g\n", cur.sweepChecksum);
+
+    // 4. Telemetry ON-vs-OFF A/B: one serial FixedController loop with
+    // the trace buffer disarmed, then armed, so the trajectory tracks
+    // what arming costs in wall time and resident set. With
+    // MIMOARCH_TELEMETRY=0 (or when --telemetry armed the buffer for
+    // the whole process) the two passes are identical by construction.
+    {
+        telemetry::Span span("telemetry-ab", "bench");
+        const size_t probe_epochs = 20000;
+        const bool externally_armed = telemetry::trace().enabled();
+        cur.telemetryOffMs = telemetryProbeRun(probe_epochs);
+        const double rss_before = peakRssMb();
+        if (!externally_armed)
+            telemetry::trace().start(size_t{1} << 16);
+        cur.telemetryOnMs = telemetryProbeRun(probe_epochs);
+        if (!externally_armed)
+            telemetry::trace().stop();
+        cur.telemetryRssDeltaMb = peakRssMb() - rss_before;
+        cur.telemetryOverheadPct =
+            cur.telemetryOffMs > 0.0
+                ? (cur.telemetryOnMs - cur.telemetryOffMs) /
+                      cur.telemetryOffMs * 100.0
+                : 0.0;
+        std::printf("telemetry A/B: %10.1f ms off, %.1f ms on "
+                    "(%+.1f%%, +%.2f MB peak RSS)%s\n",
+                    cur.telemetryOffMs, cur.telemetryOnMs,
+                    cur.telemetryOverheadPct, cur.telemetryRssDeltaMb,
+                    externally_armed ? " [trace already armed]" : "");
+    }
 
     // Optional baseline for the trajectory.
     Metrics base;
@@ -251,6 +314,19 @@ main(int argc, char **argv)
             base.epochsPerSec = findNumber(text, "epochs_per_sec");
             base.sweepChecksum = findNumber(text, "sweep_checksum");
             base.peakRssMbVal = findNumber(text, "peak_rss_mb");
+            base.telemetryOffMs = findNumber(text, "telemetry_off_ms");
+            base.telemetryOnMs = findNumber(text, "telemetry_on_ms");
+            base.telemetryOverheadPct =
+                findNumber(text, "telemetry_overhead_pct");
+            base.telemetryRssDeltaMb =
+                findNumber(text, "telemetry_rss_delta_mb");
+            // Baselines written before the telemetry A/B block lack
+            // the fields; zero keeps the emitted JSON valid.
+            for (double *v :
+                 {&base.telemetryOffMs, &base.telemetryOnMs,
+                  &base.telemetryOverheadPct, &base.telemetryRssDeltaMb})
+                if (!std::isfinite(*v))
+                    *v = 0.0;
             have_baseline = std::isfinite(base.controllerNsPerStep);
         }
         if (!have_baseline)

@@ -36,11 +36,17 @@ main(int argc, char **argv)
     {
         double ratios[3] = {0, 0, 0};
     };
-    const std::vector<Row> rows = runner.map<Row>(
-        metrics.size() * apps.size(), [&](size_t i) {
-            const unsigned k = metrics[i / apps.size()];
-            const AppSpec &app =
-                Spec2006Suite::byName(apps[i % apps.size()]);
+    std::vector<exec::JobKey> keys;
+    for (const unsigned k : metrics)
+        for (const std::string &app : apps)
+            keys.push_back({app, "opt-metric", k, 0});
+    const std::vector<Row> rows =
+        runner
+            .mapJobs<Row>(keys, benchFingerprint(),
+                          [&](const exec::JobContext &ctx) {
+            const unsigned k =
+                static_cast<unsigned>(ctx.key.config);
+            const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
 
@@ -48,6 +54,7 @@ main(int argc, char **argv)
             FixedController fixed(baselineSettings());
             DriverConfig bcfg;
             bcfg.epochs = epochs;
+            bcfg.cancel = &ctx.cancel;
             EpochDriver bd(pb, fixed, bcfg);
             const double base = bd.run(baselineSettings()).exdMetric(k);
 
@@ -70,12 +77,14 @@ main(int argc, char **argv)
                 dcfg.epochs = epochs;
                 dcfg.useOptimizer = a != 1;
                 dcfg.optimizer.metricExponent = k;
+                dcfg.cancel = &ctx.cancel;
                 EpochDriver driver(plant, *ctrls[a], dcfg);
                 row.ratios[a] =
                     driver.run(baselineSettings()).exdMetric(k) / base;
             }
             return row;
-        });
+        })
+            .results;
 
     CsvTable table({"metric", "mimo", "heuristic", "decoupled"});
     std::printf("%-8s %10s %10s %10s   (avg normalized to Baseline)\n",

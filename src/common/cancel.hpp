@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running jobs.
+ *
+ * A CancellationToken is a one-way flag: the owner (the sweep engine's
+ * watchdog or a fail-fast abort) requests cancellation, and the work
+ * being canceled polls canceled() at safe points — the EpochDriver
+ * checks once per epoch — and unwinds by throwing CanceledError. The
+ * flag is a single relaxed atomic, so polling it on the hot path costs
+ * one load and no synchronization.
+ *
+ * Cancellation is advisory, never preemptive: a job that ignores its
+ * token runs to completion. Everything that matters for determinism is
+ * preserved — a canceled attempt writes no results, and a retried
+ * attempt re-derives all randomness from the job's seed, so the run
+ * that eventually succeeds is bit-identical to one that was never
+ * canceled (see src/exec/resilient.hpp).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace mimoarch {
+
+/** One-way cancellation flag (not copyable; share by reference). */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+    CancellationToken(const CancellationToken &) = delete;
+    CancellationToken &operator=(const CancellationToken &) = delete;
+
+    /** Ask the work owning this token to unwind at its next check. */
+    void
+    requestCancel()
+    {
+        canceled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Poll point for the work being canceled (one relaxed load). */
+    bool
+    canceled() const
+    {
+        return canceled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> canceled_{false};
+};
+
+/**
+ * Thrown by cooperative work (EpochDriver, chaos delays) when its
+ * token is canceled. The sweep engine classifies it: a watchdog
+ * deadline becomes a Timeout failure, a fail-fast abort a Canceled one.
+ */
+class CanceledError : public std::runtime_error
+{
+  public:
+    explicit CanceledError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+} // namespace mimoarch

@@ -1,0 +1,37 @@
+#include "common/fileio.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace mimoarch {
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        warn("cannot open ", tmp, " for writing");
+        return false;
+    }
+    const size_t written =
+        contents.empty()
+            ? 0
+            : std::fwrite(contents.data(), 1, contents.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (written != contents.size() || !flushed || !closed) {
+        warn("short or failed write to ", tmp);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot rename ", tmp, " over ", path);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace mimoarch

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Crash-safe file output. writeFileAtomic() writes to "<path>.tmp" and
+ * renames over the destination, so a reader — or a process relaunched
+ * after a kill — only ever sees either the previous complete file or
+ * the new complete file, never a truncated one. Used by the telemetry
+ * exporters, the sweep journal, and the failure reports, all of which
+ * may be written while a run is being killed.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace mimoarch {
+
+/**
+ * Atomically replace @p path with @p contents (write tmp sibling,
+ * flush, rename). Returns false (and warns) on any I/O failure; never
+ * throws, since several callers run during shutdown paths.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &contents);
+
+} // namespace mimoarch

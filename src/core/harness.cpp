@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/hash.hpp"
 #include "common/logging.hpp"
@@ -161,6 +162,14 @@ EpochDriver::run(const KnobSettings &initial)
     Observation obs;
 
     for (size_t t = 0; t < config_.epochs; ++t) {
+        // Cooperative cancellation (sweep watchdog / fail-fast abort):
+        // one relaxed load per epoch, numerically invisible to runs
+        // that are never canceled.
+        if (config_.cancel && config_.cancel->canceled()) {
+            throw CanceledError("EpochDriver: canceled at epoch " +
+                                std::to_string(t) + "/" +
+                                std::to_string(config_.epochs));
+        }
         telemetry::Span epoch_span("epoch", "loop", tmEpochNs_, "epoch",
                                    static_cast<int64_t>(t));
         tmEpochs_->add(1);

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/controllers.hpp"
 #include "core/optimizer.hpp"
 #include "core/phase_detect.hpp"
@@ -112,6 +113,16 @@ struct DriverConfig
     bool optimizerPeriodicRestart = false;
     bool usePhaseDetector = true;
     PhaseDetectorConfig phaseDetector{};
+
+    /**
+     * Optional cooperative cancellation (not owned; null = never
+     * canceled). Polled once per epoch; when set, run() unwinds with
+     * CanceledError. The check reads one relaxed atomic and never
+     * perturbs the numeric path, so a run that is NOT canceled is
+     * bit-identical with or without a token — the sweep watchdog and
+     * fail-fast abort hang off this without breaking determinism.
+     */
+    const CancellationToken *cancel = nullptr;
 };
 
 /**

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ChaosInjector: seeded fault injection for the *execution* layer —
+ * the sweep-engine analogue of src/robustness's FaultInjector for the
+ * control loop. Armed, it makes worker jobs throw, stall, or deliver
+ * invalid results on a schedule that is a pure function of
+ * (chaos seed, job seed, attempt number), so a chaos campaign is
+ * exactly reproducible and — crucially — *clears* on retry: an attempt
+ * that was chaos-failed re-runs with a different attempt number,
+ * usually samples None, and produces the bit-identical result a
+ * chaos-free run would have (see tests/exec/chaos_equivalence_test).
+ *
+ * Like MIMOARCH_CHECKED, the injector is build-time pruned: CMake sets
+ * MIMOARCH_CHAOS=1 in Debug/RelWithDebInfo/sanitizer builds and 0 in
+ * Release/MinSizeRel, where this header collapses to an inline no-op
+ * shell (armed() is constant false, so every chaos branch in the sweep
+ * engine folds away) and the --chaos-* flags are rejected.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/hash.hpp"
+
+#ifndef MIMOARCH_CHAOS
+#define MIMOARCH_CHAOS 1
+#endif
+
+namespace mimoarch::exec {
+
+/** Chaos environment for one sweep (plain data; see parseSweepArgs). */
+struct ChaosConfig
+{
+    uint64_t seed = 0xC4A05;
+    /** Probability that an attempt throws before the job runs. */
+    double exceptionRate = 0.0;
+    /** Probability that an attempt stalls for delayMs first. */
+    double delayRate = 0.0;
+    /** Probability that an attempt's result is declared invalid. */
+    double invalidRate = 0.0;
+    /** Stall length for delay injections (cancellation-aware sleep). */
+    uint32_t delayMs = 50;
+
+    bool
+    any() const
+    {
+        return exceptionRate > 0.0 || delayRate > 0.0 ||
+               invalidRate > 0.0;
+    }
+};
+
+/** What the injector does to one (job, attempt). */
+enum class ChaosAction : uint8_t { None, Throw, Delay, Invalid };
+
+/** The exception a Throw injection raises inside the worker. */
+class ChaosError : public std::runtime_error
+{
+  public:
+    explicit ChaosError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+#if MIMOARCH_CHAOS
+
+/** Deterministic per-(job, attempt) chaos sampler. */
+class ChaosInjector
+{
+  public:
+    explicit ChaosInjector(const ChaosConfig &config = {})
+        : config_(config)
+    {}
+
+    /** True when any injection can fire (compile-time false when
+     *  pruned, so chaos branches in the engine fold away). */
+    bool armed() const { return config_.any(); }
+
+    uint32_t delayMs() const { return config_.delayMs; }
+
+    /**
+     * The verdict for @p job_seed's attempt @p attempt: a pure hash of
+     * (chaos seed, job seed, attempt), identical across runs, worker
+     * counts, and schedules.
+     */
+    ChaosAction
+    sample(uint64_t job_seed, unsigned attempt) const
+    {
+        if (!armed())
+            return ChaosAction::None;
+        Fnv64 h;
+        h.u64(config_.seed).u64(job_seed).u64(attempt);
+        // 53 uniform bits -> [0, 1).
+        const double u = static_cast<double>(h.value() >> 11) *
+                         (1.0 / 9007199254740992.0);
+        if (u < config_.exceptionRate)
+            return ChaosAction::Throw;
+        if (u < config_.exceptionRate + config_.delayRate)
+            return ChaosAction::Delay;
+        if (u < config_.exceptionRate + config_.delayRate +
+                    config_.invalidRate)
+            return ChaosAction::Invalid;
+        return ChaosAction::None;
+    }
+
+  private:
+    ChaosConfig config_;
+};
+
+#else // !MIMOARCH_CHAOS -----------------------------------------------
+
+/** Release shell: never armed, never injects. */
+class ChaosInjector
+{
+  public:
+    explicit ChaosInjector(const ChaosConfig & = {}) {}
+    static constexpr bool armed() { return false; }
+    static constexpr uint32_t delayMs() { return 0; }
+    static constexpr ChaosAction
+    sample(uint64_t, unsigned)
+    {
+        return ChaosAction::None;
+    }
+};
+
+#endif // MIMOARCH_CHAOS
+
+} // namespace mimoarch::exec

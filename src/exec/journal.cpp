@@ -1,0 +1,198 @@
+#include "exec/journal.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/fileio.hpp"
+#include "common/logging.hpp"
+
+namespace mimoarch::exec {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'I', 'M', 'O', 'J', 'N', 'L', '1'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + 8;
+constexpr size_t kRecordHeadSize = 8 + 4 + 4;
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+uint32_t
+getU32(const unsigned char *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** CRC for one record, over (key hash, length, payload) as one stream. */
+uint32_t
+recordCrc(uint64_t key_hash, const unsigned char *payload, size_t n)
+{
+    std::vector<unsigned char> buf(12 + n);
+    for (int i = 0; i < 8; ++i)
+        buf[static_cast<size_t>(i)] =
+            static_cast<unsigned char>(key_hash >> (8 * i));
+    const uint32_t len = static_cast<uint32_t>(n);
+    for (int i = 0; i < 4; ++i)
+        buf[8 + static_cast<size_t>(i)] =
+            static_cast<unsigned char>(len >> (8 * i));
+    if (n > 0)
+        std::memcpy(buf.data() + 12, payload, n);
+    return crc32(buf.data(), buf.size());
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t n)
+{
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = 0xFFFFFFFFu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+SweepJournal::SweepJournal(std::string path, uint64_t fingerprint)
+    : path_(std::move(path)), fingerprint_(fingerprint)
+{
+    load();
+}
+
+const std::vector<unsigned char> *
+SweepJournal::find(uint64_t key_hash) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto it = records_.find(key_hash);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+size_t
+SweepJournal::size() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return records_.size();
+}
+
+void
+SweepJournal::append(uint64_t key_hash, const void *payload, size_t n)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto *p = static_cast<const unsigned char *>(payload);
+    records_[key_hash].assign(p, p + n);
+    persist();
+}
+
+void
+SweepJournal::load()
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in.good())
+        return; // Fresh journal: created on first append.
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(text.data());
+
+    if (text.size() < kHeaderSize ||
+        std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+        warn("journal ", path_,
+             ": missing or foreign header; starting fresh");
+        return;
+    }
+    const uint64_t file_fp = getU64(bytes + sizeof(kMagic));
+    if (file_fp != fingerprint_) {
+        fatal("journal ", path_, " was written for config fingerprint ",
+              file_fp, " but this sweep has ", fingerprint_,
+              " — refusing to splice results from a different "
+              "experiment (delete the journal or pass a fresh --resume "
+              "path)");
+    }
+
+    size_t pos = kHeaderSize;
+    size_t dropped = 0;
+    while (pos < text.size()) {
+        if (text.size() - pos < kRecordHeadSize) {
+            ++dropped;
+            break;
+        }
+        const uint64_t key_hash = getU64(bytes + pos);
+        const uint32_t len = getU32(bytes + pos + 8);
+        const uint32_t crc = getU32(bytes + pos + 12);
+        if (text.size() - pos - kRecordHeadSize < len) {
+            ++dropped;
+            break;
+        }
+        const unsigned char *payload = bytes + pos + kRecordHeadSize;
+        if (recordCrc(key_hash, payload, len) != crc) {
+            // A bad CRC means this and everything after it is suspect:
+            // keep the valid prefix only.
+            ++dropped;
+            break;
+        }
+        records_[key_hash].assign(payload, payload + len);
+        pos += kRecordHeadSize + len;
+    }
+    if (dropped > 0) {
+        warn("journal ", path_, ": discarded a corrupt tail; ",
+             records_.size(), " valid record(s) kept, the rest of the "
+             "sweep re-runs");
+    }
+}
+
+void
+SweepJournal::persist()
+{
+    std::string out;
+    out.reserve(kHeaderSize + records_.size() * 64);
+    out.append(kMagic, sizeof(kMagic));
+    putU64(out, fingerprint_);
+    for (const auto &[key_hash, payload] : records_) {
+        putU64(out, key_hash);
+        putU32(out, static_cast<uint32_t>(payload.size()));
+        putU32(out, recordCrc(key_hash, payload.data(), payload.size()));
+        out.append(reinterpret_cast<const char *>(payload.data()),
+                   payload.size());
+    }
+    if (!writeFileAtomic(path_, out))
+        warn("journal ", path_, ": checkpoint write failed; resume "
+             "may re-run completed jobs");
+}
+
+} // namespace mimoarch::exec

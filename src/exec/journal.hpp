@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SweepJournal: the checkpoint/resume store behind `--resume PATH`.
+ *
+ * An append-only stream of completed-job records, keyed by the sweep's
+ * ExperimentConfig::fingerprint() (file-level) and jobSeed(JobKey)
+ * (record-level). Every record carries a CRC32 over its header and
+ * payload, and every append persists by serializing the whole stream
+ * to "<path>.tmp" and renaming it over the journal, so a run killed at
+ * any instant — even mid-append — leaves either the previous or the
+ * new complete journal on disk, never a torn one. Loading is equally
+ * defensive: a corrupt or truncated tail (a journal produced by some
+ * other writer, a damaged filesystem) is discarded with a warning and
+ * those jobs simply re-run.
+ *
+ * Resume correctness rests on the sweep determinism contract: a job's
+ * result is a pure function of its JobKey (src/exec/sweep.hpp), so a
+ * payload recorded by a previous process is bit-identical to what
+ * re-running the job would produce, and a resumed sweep digests
+ * exactly like an uninterrupted one. A journal written under one
+ * config fingerprint refuses to resume a sweep with another — that
+ * would splice results from a different experiment.
+ *
+ * File layout (little-endian):
+ *   header: 8-byte magic "MIMOJNL1", u64 config fingerprint
+ *   record: u64 key hash, u32 payload length, u32 crc32, payload
+ * where the CRC covers the key hash, the length, and the payload.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mimoarch::exec {
+
+/** CRC32 (IEEE, reflected) over @p n bytes — the record guard. */
+uint32_t crc32(const void *data, size_t n);
+
+/** The on-disk completed-job store for one sweep configuration. */
+class SweepJournal
+{
+  public:
+    /**
+     * Open (or create) the journal at @p path for the sweep identified
+     * by @p fingerprint. Valid records are loaded for find(); a
+     * fingerprint mismatch is fatal (user error: resuming a different
+     * experiment); corrupt records or a torn tail are dropped with a
+     * warning.
+     */
+    SweepJournal(std::string path, uint64_t fingerprint);
+
+    /** Payload recorded for @p key_hash, or nullptr. */
+    const std::vector<unsigned char> *find(uint64_t key_hash) const;
+
+    /** Completed-job records currently held (loaded + appended). */
+    size_t size() const;
+
+    /**
+     * Record @p key_hash's result and persist the journal atomically.
+     * Thread-safe: sweep workers append concurrently. A repeated key
+     * overwrites (last write wins).
+     */
+    void append(uint64_t key_hash, const void *payload, size_t n);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void load();
+    void persist(); //!< Serialize all records -> tmp -> rename.
+
+    std::string path_;
+    uint64_t fingerprint_;
+    mutable std::mutex mutex_;
+    std::map<uint64_t, std::vector<unsigned char>> records_;
+};
+
+} // namespace mimoarch::exec

@@ -31,6 +31,68 @@ parseJobCount(const char *text, const char *flag)
     return static_cast<unsigned>(v);
 }
 
+uint64_t
+parseU64(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal(flag, ": expected a non-negative integer, got '", text,
+              "'");
+    return static_cast<uint64_t>(v);
+}
+
+double
+parseSeconds(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(v >= 0.0))
+        fatal(flag, ": expected seconds >= 0, got '", text, "'");
+    return v;
+}
+
+double
+parseRate(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(v >= 0.0) || v > 1.0)
+        fatal(flag, ": expected a probability in [0, 1], got '", text,
+              "'");
+    return v;
+}
+
+void
+requireChaosBuild(const char *flag)
+{
+#if !MIMOARCH_CHAOS
+    fatal(flag, ": this build prunes the chaos injector "
+          "(MIMOARCH_CHAOS=0; use a Debug/RelWithDebInfo or sanitizer "
+          "build for fault-injection campaigns)");
+#else
+    (void)flag;
+#endif
+}
+
+/** Flag value: "--flag VALUE" or "--flag=VALUE". Null when @p arg is
+ *  not @p flag; fatal when the value is missing. */
+const char *
+flagValue(const char *arg, const char *flag, int argc, char **argv,
+          int &i)
+{
+    const size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0)
+        return nullptr;
+    if (arg[n] == '=')
+        return arg + n + 1;
+    if (arg[n] != '\0')
+        return nullptr;
+    if (i + 1 >= argc)
+        fatal(flag, ": missing value");
+    return argv[++i];
+}
+
 } // namespace
 
 SweepOptions
@@ -39,25 +101,65 @@ parseSweepArgs(int argc, char **argv)
     SweepOptions opt;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+        const char *v = nullptr;
+        if (std::strcmp(arg, "-j") == 0) {
             if (i + 1 >= argc)
                 fatal(arg, ": missing job count");
             opt.jobs = parseJobCount(argv[++i], arg);
-        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            opt.jobs = parseJobCount(arg + 7, "--jobs");
         } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
             opt.jobs = parseJobCount(arg + 2, "-j");
-        } else if (std::strcmp(arg, "--telemetry") == 0) {
-            if (i + 1 >= argc)
-                fatal(arg, ": missing output path");
-            opt.telemetry = argv[++i];
-        } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
-            opt.telemetry = arg + 12;
+        } else if ((v = flagValue(arg, "--jobs", argc, argv, i))) {
+            opt.jobs = parseJobCount(v, "--jobs");
+        } else if ((v = flagValue(arg, "--telemetry", argc, argv, i))) {
+            opt.telemetry = v;
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            opt.progress = true;
+        } else if ((v = flagValue(arg, "--retries", argc, argv, i))) {
+            opt.resilient.maxAttempts =
+                1 + static_cast<unsigned>(parseU64(v, "--retries"));
+        } else if ((v = flagValue(arg, "--job-timeout", argc, argv,
+                                  i))) {
+            opt.resilient.jobTimeoutS = parseSeconds(v, "--job-timeout");
+        } else if ((v = flagValue(arg, "--max-failures", argc, argv,
+                                  i))) {
+            opt.resilient.maxFailures = parseU64(v, "--max-failures");
+        } else if (std::strcmp(arg, "--fail-fast") == 0) {
+            opt.resilient.failFast = true;
+        } else if ((v = flagValue(arg, "--resume", argc, argv, i))) {
+            opt.resilient.resumePath = v;
+        } else if ((v = flagValue(arg, "--failure-report", argc, argv,
+                                  i))) {
+            opt.resilient.failureReportPath = v;
+        } else if ((v = flagValue(arg, "--chaos-seed", argc, argv, i))) {
+            requireChaosBuild("--chaos-seed");
+            opt.resilient.chaos.seed = parseU64(v, "--chaos-seed");
+        } else if ((v = flagValue(arg, "--chaos-exception-rate", argc,
+                                  argv, i))) {
+            requireChaosBuild("--chaos-exception-rate");
+            opt.resilient.chaos.exceptionRate =
+                parseRate(v, "--chaos-exception-rate");
+        } else if ((v = flagValue(arg, "--chaos-delay-rate", argc, argv,
+                                  i))) {
+            requireChaosBuild("--chaos-delay-rate");
+            opt.resilient.chaos.delayRate =
+                parseRate(v, "--chaos-delay-rate");
+        } else if ((v = flagValue(arg, "--chaos-invalid-rate", argc,
+                                  argv, i))) {
+            requireChaosBuild("--chaos-invalid-rate");
+            opt.resilient.chaos.invalidRate =
+                parseRate(v, "--chaos-invalid-rate");
+        } else if ((v = flagValue(arg, "--chaos-delay-ms", argc, argv,
+                                  i))) {
+            requireChaosBuild("--chaos-delay-ms");
+            opt.resilient.chaos.delayMs =
+                static_cast<uint32_t>(parseU64(v, "--chaos-delay-ms"));
         } else {
             fatal("unknown argument '", arg,
-                  "' (benches accept --jobs N and --telemetry "
-                  "OUT.json; default: hardware concurrency, no "
-                  "telemetry reports)");
+                  "' (benches accept --jobs N, --telemetry OUT.json, "
+                  "--progress, --retries N, --job-timeout S, "
+                  "--max-failures N, --fail-fast, --resume PATH, "
+                  "--failure-report PATH, and --chaos-* flags in "
+                  "fault-injection builds)");
         }
     }
     return opt;
@@ -66,7 +168,8 @@ parseSweepArgs(int argc, char **argv)
 SweepRunner::SweepRunner(const SweepOptions &options)
     : jobs_(options.jobs > 0 ? options.jobs
                              : ThreadPool::hardwareThreads()),
-      progress_(options.progress), telemetryPath_(options.telemetry)
+      progress_(options.progress), telemetryPath_(options.telemetry),
+      resilient_(options.resilient)
 {
     if (!telemetryPath_.empty() && !telemetry::trace().enabled()) {
         telemetry::trace().start(kTraceCapacity);
@@ -127,9 +230,24 @@ SweepRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
         });
     }
     pool_->wait();
-    for (size_t i = 0; i < n; ++i)
-        if (errors[i])
+    // Rethrow the lowest-index failure with the job's identity
+    // attached — a bare what() from deep inside a worker is useless
+    // for reproducing the failing job.
+    for (size_t i = 0; i < n; ++i) {
+        if (!errors[i])
+            continue;
+        try {
             std::rethrow_exception(errors[i]);
+        } catch (const std::exception &e) {
+            throw std::runtime_error("sweep job " + std::to_string(i) +
+                                     "/" + std::to_string(n) +
+                                     " failed: " + e.what());
+        } catch (...) {
+            throw std::runtime_error("sweep job " + std::to_string(i) +
+                                     "/" + std::to_string(n) +
+                                     " failed: non-exception throw");
+        }
+    }
 }
 
 } // namespace mimoarch::exec

@@ -16,45 +16,31 @@
  *      order after the sweep, never interleaved as jobs complete.
  *
  * Under this contract a sweep's outputs are bit-identical regardless
- * of --jobs and OS scheduling (see tests/exec/parallel_equivalence).
+ * of --jobs and OS scheduling (see tests/exec/parallel_equivalence) —
+ * and, because retries re-derive everything from the same seed, they
+ * stay bit-identical under faults, chaos injection, and resume from a
+ * checkpoint journal (see tests/exec/chaos_equivalence). The
+ * fault-tolerance machinery itself lives in exec/resilient.hpp; the
+ * mapJobs() entry point below is how benches reach it.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
-#include "common/hash.hpp"
+#include "exec/resilient.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace mimoarch::exec {
 
-/** Stable identity of one sweep job (hash input for its RNG seed). */
-struct JobKey
-{
-    std::string app;        //!< Workload name ("" when not app-keyed).
-    std::string controller; //!< Architecture/controller label.
-    uint64_t config = 0;    //!< Knob-config / variant discriminator.
-    uint64_t rep = 0;       //!< Seed / repetition index.
-};
-
-/**
- * The job's deterministic RNG seed: a pure hash of the key. Stable
- * across runs, platforms, thread counts, and job orderings.
- */
-inline uint64_t
-jobSeed(const JobKey &key)
-{
-    Fnv64 h;
-    h.str(key.app).str(key.controller).u64(key.config).u64(key.rep);
-    return h.value();
-}
-
-/** Sweep-wide execution options (the --jobs and --telemetry knobs). */
+/** Sweep-wide execution options (the bench command-line surface). */
 struct SweepOptions
 {
     unsigned jobs = 0;     //!< Worker threads; 0 = hardware concurrency.
@@ -67,14 +53,29 @@ struct SweepOptions
      * telemetry layer is compiled out.
      */
     std::string telemetry;
+    /** Retry / watchdog / checkpoint / chaos policy for mapJobs(). */
+    ResilientPolicy resilient;
 };
 
 /**
- * Parse sweep flags from a bench's argv: --jobs N / --jobs=N / -jN and
- * --telemetry PATH / --telemetry=PATH. Unknown arguments are fatal
- * (benches take no other arguments).
+ * Parse sweep flags from a bench's argv. Execution: --jobs N / -jN,
+ * --telemetry PATH, --progress. Resilience: --retries N,
+ * --job-timeout S, --max-failures N, --fail-fast, --resume PATH,
+ * --failure-report PATH. Chaos (fault-injection builds only):
+ * --chaos-seed N, --chaos-exception-rate X, --chaos-delay-rate X,
+ * --chaos-invalid-rate X, --chaos-delay-ms N. Unknown arguments are
+ * fatal (benches take no other arguments), as are --chaos-* flags in
+ * builds that prune the injector (MIMOARCH_CHAOS=0).
  */
 SweepOptions parseSweepArgs(int argc, char **argv);
+
+/** Results plus the execution report from one mapJobs() sweep. */
+template <typename R>
+struct SweepOutcome
+{
+    std::vector<R> results; //!< In key order; failed slots are R{}.
+    SweepReport report;
+};
 
 /** Runs job lists across a pool; owns the pool. */
 class SweepRunner
@@ -86,12 +87,16 @@ class SweepRunner
     /** Effective worker count (>= 1). */
     unsigned jobs() const { return jobs_; }
 
+    /** The policy mapJobs() executes under (from SweepOptions). */
+    const ResilientPolicy &policy() const { return resilient_; }
+
     /**
      * Run @p fn(i) for i in [0, n) and return the results in index
      * order. R must be default-constructible and movable. With one
      * worker the jobs run inline, in order, on the calling thread
      * (exactly the pre-parallel serial semantics). Job exceptions are
-     * captured and the lowest-index one is rethrown after the sweep.
+     * captured and the lowest-index one is rethrown after the sweep,
+     * wrapped with the job's index and original message.
      */
     template <typename R>
     std::vector<R>
@@ -100,6 +105,72 @@ class SweepRunner
         std::vector<R> results(n);
         forEach(n, [&](size_t i) { results[i] = fn(i); });
         return results;
+    }
+
+    /**
+     * The resilient sweep entry point: run one job per @p key under
+     * the runner's ResilientPolicy — isolation, watchdog + retry,
+     * checkpoint/resume keyed by @p fingerprint, chaos injection —
+     * and return results in key order plus the execution report.
+     *
+     * @p fn computes one job's result from its JobContext (key,
+     * attempt, cancellation token); it must honour the determinism
+     * contract above. @p validate (optional) rejects a returned
+     * result — a rejection counts as FailureCause::InvalidResult and
+     * is retried like any other failure.
+     *
+     * When R is trivially copyable, completed results are journaled
+     * under --resume and restored on the next run; other result types
+     * re-run (the engine warns once).
+     *
+     * Throws SweepError when failures exceed the policy's tolerance;
+     * under --max-failures the sweep completes and failed slots hold
+     * default-constructed values (identified by report.failures).
+     */
+    template <typename R>
+    SweepOutcome<R>
+    mapJobs(const std::vector<JobKey> &keys, uint64_t fingerprint,
+            const std::function<R(const JobContext &)> &fn,
+            const std::function<bool(const R &)> &validate = nullptr)
+    {
+        SweepOutcome<R> out;
+        out.results.resize(keys.size());
+        std::vector<ResilientJob> jobs(keys.size());
+        for (size_t i = 0; i < keys.size(); ++i) {
+            R *slot = &out.results[i];
+            jobs[i].key = keys[i];
+            jobs[i].run = [slot, &fn,
+                           &validate](const JobContext &ctx) {
+                R r = fn(ctx);
+                if (validate && !validate(r)) {
+                    throw InvalidResultError(
+                        "result failed the bench's validator");
+                }
+                *slot = std::move(r);
+            };
+            if constexpr (std::is_trivially_copyable_v<R>) {
+                jobs[i].save = [slot] {
+                    std::vector<unsigned char> bytes(sizeof(R));
+                    std::memcpy(bytes.data(), slot, sizeof(R));
+                    return bytes;
+                };
+                jobs[i].load =
+                    [slot](const std::vector<unsigned char> &bytes) {
+                        if (bytes.size() != sizeof(R))
+                            return false;
+                        std::memcpy(slot, bytes.data(), sizeof(R));
+                        return true;
+                    };
+            }
+        }
+        out.report = runResilient(pool_.get(), std::move(jobs),
+                                  resilient_, fingerprint, progress_);
+        // Tolerated failures leave their slots at a well-defined
+        // default (an Invalid injection may have written real data
+        // before the attempt was failed).
+        for (const JobFailure &f : out.report.failures)
+            out.results[f.index] = R{};
+        return out;
     }
 
     /**
@@ -113,6 +184,7 @@ class SweepRunner
     bool progress_;
     std::string telemetryPath_; //!< Empty = no report on destruction.
     bool armedTrace_ = false;   //!< This runner started the trace.
+    ResilientPolicy resilient_;
     std::unique_ptr<ThreadPool> pool_; //!< Null when jobs_ == 1.
 };
 

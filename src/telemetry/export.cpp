@@ -6,7 +6,8 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
+
+#include "common/fileio.hpp"
 
 namespace mimoarch::telemetry {
 
@@ -192,18 +193,13 @@ writeReports(const std::string &path)
 {
     trace().stop();
     const std::string metrics_path = sidecarPath(path, ".metrics.json");
-    {
-        std::ofstream f(path, std::ios::binary);
-        if (!f.good())
-            fatal("telemetry: cannot write trace to ", path);
-        f << renderChromeTrace(trace());
-    }
-    {
-        std::ofstream f(metrics_path, std::ios::binary);
-        if (!f.good())
-            fatal("telemetry: cannot write metrics to ", metrics_path);
-        f << renderMetricsJson(registry());
-    }
+    // Atomic tmp+rename: these run at SweepRunner destruction time, so
+    // a crash or kill mid-write must not leave a torn half-report where
+    // a previous good one stood.
+    if (!writeFileAtomic(path, renderChromeTrace(trace())))
+        fatal("telemetry: cannot write trace to ", path);
+    if (!writeFileAtomic(metrics_path, renderMetricsJson(registry())))
+        fatal("telemetry: cannot write metrics to ", metrics_path);
     if (trace().dropped() > 0) {
         warn("telemetry: trace buffer overflowed; ", trace().dropped(),
              " events dropped (see otherData.dropped)");

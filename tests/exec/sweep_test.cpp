@@ -54,6 +54,42 @@ TEST(ParseSweepArgs, AcceptsEveryJobsSpelling)
     }
 }
 
+TEST(ParseSweepArgs, ParsesResilienceFlags)
+{
+    std::vector<std::string> args = {
+        "bench",        "--retries=4",    "--job-timeout", "2.5",
+        "--max-failures", "3",            "--fail-fast",
+        "--resume",     "ckpt.journal",   "--failure-report=rep.json"};
+    auto argv = argvOf(args);
+    const SweepOptions opt =
+        parseSweepArgs(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opt.resilient.maxAttempts, 5u); // 1 try + 4 retries
+    EXPECT_DOUBLE_EQ(opt.resilient.jobTimeoutS, 2.5);
+    EXPECT_EQ(opt.resilient.maxFailures, 3u);
+    EXPECT_TRUE(opt.resilient.failFast);
+    EXPECT_EQ(opt.resilient.resumePath, "ckpt.journal");
+    EXPECT_EQ(opt.resilient.failureReportPath, "rep.json");
+}
+
+#if MIMOARCH_CHAOS
+TEST(ParseSweepArgs, ParsesChaosFlags)
+{
+    std::vector<std::string> args = {
+        "bench", "--chaos-seed=9", "--chaos-exception-rate", "0.25",
+        "--chaos-delay-rate=0.1", "--chaos-invalid-rate=0.05",
+        "--chaos-delay-ms", "20"};
+    auto argv = argvOf(args);
+    const SweepOptions opt =
+        parseSweepArgs(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opt.resilient.chaos.seed, 9u);
+    EXPECT_DOUBLE_EQ(opt.resilient.chaos.exceptionRate, 0.25);
+    EXPECT_DOUBLE_EQ(opt.resilient.chaos.delayRate, 0.1);
+    EXPECT_DOUBLE_EQ(opt.resilient.chaos.invalidRate, 0.05);
+    EXPECT_EQ(opt.resilient.chaos.delayMs, 20u);
+    EXPECT_TRUE(opt.resilient.chaos.any());
+}
+#endif
+
 TEST(SweepRunner, ReportsAtLeastOneJob)
 {
     SweepOptions opt;
@@ -114,7 +150,9 @@ TEST(SweepRunner, LowestIndexExceptionWins)
         });
         FAIL() << "expected the job exception to propagate";
     } catch (const std::runtime_error &e) {
-        EXPECT_STREQ(e.what(), "37");
+        // First-failure context: the rethrown error carries the job's
+        // index alongside the original message.
+        EXPECT_STREQ(e.what(), "sweep job 37/64 failed: 37");
     }
     // Every non-throwing job still ran to completion.
     EXPECT_EQ(completed.load(), 62);

@@ -7,10 +7,13 @@
  */
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/hash.hpp"
 #include "core/harness.hpp"
 #include "robustness/fault_plant.hpp"
 #include "robustness/supervisor.hpp"
@@ -192,6 +195,48 @@ TEST(SupervisedController, PersistentRunawayWalksTheLadder)
     EXPECT_GE(h.fallbackEntries, 1ul);
     EXPECT_GE(h.safePins, 1ul);
     EXPECT_EQ(h.tier, 3u);
+}
+
+TEST(SupervisedController, SafePinRunsAreBitwiseDeterministic)
+{
+    // A run that walks the whole ladder — runaway into SafePin, then a
+    // recovery phase — must be exactly reproducible: the supervised
+    // loop carries no hidden nondeterminism (time, address-dependent
+    // state) that faulted sweeps could leak into digests.
+    const auto runOnce = []() -> std::pair<uint64_t, bool> {
+        KnobSpace knobs(false);
+        LoopSupervisorConfig sup_cfg;
+        sup_cfg.trackingWindow = 10;
+        sup_cfg.maxResets = 1;
+        sup_cfg.probationEpochs = 20;
+        auto supervised = makeSupervised(knobs, sup_cfg);
+        supervised->setReference(2.0, 2.0);
+        supervised->initialize(KnobSettings{});
+        Fnv64 h;
+        bool pinned = false;
+        for (int i = 0; i < 400; ++i) {
+            const double dither = 0.01 * (i % 5);
+            const Observation o = i < 250
+                                      ? obsOf(0.2, 6.0)
+                                      : obsOf(2.0 + dither, 2.0 - dither);
+            const KnobSettings s = supervised->update(o);
+            h.u64(s.freqLevel).u64(s.cacheSetting).u64(s.robPartitions);
+            pinned = pinned ||
+                     supervised->tier() == DegradationTier::SafePin;
+        }
+        const ControllerHealth health = supervised->health();
+        h.u64(health.tier)
+            .u64(health.estimatorResets)
+            .u64(health.fallbackEntries)
+            .u64(health.safePins)
+            .u64(health.repromotions);
+        return {h.value(), pinned};
+    };
+    const auto [first, first_pinned] = runOnce();
+    const auto [second, second_pinned] = runOnce();
+    EXPECT_TRUE(first_pinned) << "the scenario must reach SafePin";
+    EXPECT_TRUE(second_pinned);
+    EXPECT_EQ(first, second);
 }
 
 TEST(SupervisedController, RecoveryRepromotesAfterProbation)

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -187,6 +188,31 @@ TEST(Supervisor, BackoffLengthensEachQuarantine)
     }
     EXPECT_GT(second, first);
     EXPECT_EQ(sup.repromotions(), 2ul);
+}
+
+TEST(Supervisor, BackoffSaturatesAtProbationMax)
+{
+    // smallConfig: probation 10, backoff x2, probationMax 40. Repeated
+    // fault/recover cycles must clamp the quarantine at probationMax
+    // instead of growing it without bound.
+    LoopSupervisor sup(smallConfig());
+    std::vector<unsigned> quarantines;
+    for (int cycle = 0; cycle < 8; ++cycle) {
+        driveToFallback(sup);
+        unsigned len = 0;
+        while (sup.tier() == DegradationTier::Fallback && len < 10000) {
+            sup.evaluate(healthySignals());
+            ++len;
+        }
+        ASSERT_EQ(sup.tier(), DegradationTier::Nominal) << cycle;
+        quarantines.push_back(len);
+    }
+    EXPECT_EQ(quarantines.front(), 20u); // One doubling: 10 -> 20.
+    for (size_t i = 1; i < quarantines.size(); ++i) {
+        EXPECT_EQ(quarantines[i], smallConfig().probationMax)
+            << "cycle " << i;
+    }
+    EXPECT_EQ(sup.repromotions(), 8ul);
 }
 
 TEST(Supervisor, SafePinServesTimeThenReturnsToFallback)
