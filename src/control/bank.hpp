@@ -1,0 +1,227 @@
+/**
+ * @file
+ * ControllerBank: N independent LQG servo loops stepped in lock-step.
+ *
+ * The paper runs one controller per core; the production shape (one
+ * server core managing thousands of tenant loops) wants thousands. The
+ * scalar LqgServoController step is ~126 ns, dominated by short-vector
+ * gemv overhead — the next 10x comes from batching across instances,
+ * not from the single-instance kernel.
+ *
+ * Layout (structure of arrays): lanes with the same *design* — same
+ * model, weights, and limits, hashed into a fingerprint — share one set
+ * of gain/Kalman matrices, and their per-lane vectors (estimate x_hat,
+ * previous input u_prev, error integrator z, targets, workspace) are
+ * stored as lane-contiguous planes: element k of lane l at
+ * `plane[k * stride + l]`. Stepping then runs the scalar controller's
+ * exact phase sequence once per design group with every per-element
+ * statement batched over lanes (src/linalg/batch.hpp), turning rows-≤8
+ * gemvs into long unit-stride loops.
+ *
+ * BIT-EQUIVALENCE: a bank lane's trajectory — commands, estimator
+ * state, integrator, rejection/watchdog counters, innovation norms —
+ * is bit-identical to a scalar LqgServoController fed the same
+ * measurement stream. Batched phases compute candidate values for
+ * every lane; *commits* are per-lane and masked, so rejected
+ * measurements (non-finite) and held lanes (supervisor Fallback /
+ * SafePin) leave lane state exactly as the scalar early-return would.
+ * tests/control/bank_equivalence_test locks this down at
+ * N ∈ {1, 8, 1024} including fault injection and per-lane supervisor
+ * degradation. See DESIGN.md §12.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+// The AVX2 function clone of the bank tile step (see bank_step.inl)
+// exists on x86-64 GCC/Clang; the attribute must sit on the in-class
+// declaration for GCC to honor it on a member template.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MIMOARCH_BANK_AVX2_ATTR __attribute__((target("avx2")))
+#else
+#define MIMOARCH_BANK_AVX2_ATTR
+#endif
+
+#include "common/expected.hpp"
+#include "control/lqg.hpp"
+#include "control/statespace.hpp"
+#include "linalg/matrix.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace mimoarch {
+
+/**
+ * Stable fingerprint of an LQG design (model matrices and scalings,
+ * weights, limits, all hashed by bit pattern). Lanes added with equal
+ * fingerprints share one designed controller and one set of matrices.
+ */
+uint64_t lqgDesignFingerprint(const StateSpaceModel &model,
+                              const LqgWeights &weights,
+                              const InputLimits &limits);
+
+/** A fleet of LQG servo loops stepped together. */
+class ControllerBank
+{
+  public:
+    ControllerBank();
+
+    /**
+     * Add one lane for @p model / @p weights / @p limits. Designs the
+     * controller on first use of a fingerprint (DARE solves), reuses
+     * the shared design afterwards. Returns the lane id (dense,
+     * starting at 0). The lane starts like a fresh scalar controller:
+     * reference at the output operating point, state reset around zero
+     * input. fatal()s on design failure; tryAddLane() is the
+     * recoverable variant.
+     */
+    size_t addLane(const StateSpaceModel &model, const LqgWeights &weights,
+                   const InputLimits &limits);
+    Result<size_t> tryAddLane(const StateSpaceModel &model,
+                              const LqgWeights &weights,
+                              const InputLimits &limits);
+
+    /** Number of lanes / distinct shared designs. */
+    size_t size() const { return lanes_.size(); }
+    size_t designGroups() const { return groups_.size(); }
+
+    /** Per-lane counterparts of the scalar controller API. */
+    void setReference(size_t lane, const Matrix &y0_physical);
+    void reset(size_t lane, const Matrix &u_initial_physical);
+
+    /**
+     * Hold a lane: stepAll() leaves it completely untouched (state,
+     * counters, and last command), mirroring a supervisor that has
+     * taken the LQG out of the loop (Fallback / SafePin tiers).
+     */
+    void setHeld(size_t lane, bool held);
+    bool held(size_t lane) const;
+
+    /** Stage the measurement for the next stepAll() (physical O x 1). */
+    void setMeasurement(size_t lane, const Matrix &y_physical);
+
+    /** Last committed command (physical units), one element / full copy. */
+    double command(size_t lane, size_t input) const;
+    void commandInto(size_t lane, Matrix &u_physical) const;
+
+    /**
+     * Step every non-held lane once against its staged measurement.
+     * Allocation-free once the bank is built (all planes are sized by
+     * addLane); per lane, arithmetic and state updates are
+     * bit-identical to LqgServoController::step().
+     */
+    void stepAll();
+
+    // Per-lane health, mirroring the scalar accessors.
+    unsigned long watchdogTrips(size_t lane) const;
+    unsigned long rejectedMeasurements(size_t lane) const;
+    double lastInnovationNorm(size_t lane) const;
+    bool stateFinite(size_t lane) const;
+
+    /** Saturation watchdog threshold for every lane (0 disables). */
+    void setSaturationWatchdog(unsigned steps) { watchdogSteps_ = steps; }
+
+    /** The design fingerprint / designed prototype behind a lane. */
+    uint64_t fingerprint(size_t lane) const;
+    const LqgServoController &prototype(size_t lane) const;
+
+  private:
+    /** One lane-plane: rows x stride doubles, element (k, l) at
+     *  k * stride + l. */
+    using Plane = std::vector<double>;
+
+    /** Lanes sharing one design: matrices once, state per lane. */
+    struct Group
+    {
+        Group(LqgServoController &&pr, const InputLimits &lim)
+            : proto(std::move(pr)), limits(lim)
+        {}
+
+        uint64_t fingerprint = 0;
+        LqgServoController proto; //!< Designed once; source of matrices.
+        InputLimits limits;       //!< Physical saturation bounds.
+        size_t n = 0, m = 0, p = 0;
+        size_t lanes = 0;    //!< Active lanes.
+        size_t capacity = 0; //!< Plane stride (grows by doubling).
+        /** All I/O scalings are bit-exact identity (+1.0 / +0.0): the
+         *  fused fast path may skip the physical<->scaled conversions
+         *  ((x - 0.0) / 1.0 == x for every finite x). */
+        bool identityIo = false;
+
+        // Per-lane targets (scaled unless noted).
+        Plane xSs, uSs, y0Scaled, y0Physical;
+        // Per-lane state.
+        Plane xHat, uPrev, zInt;
+        // Staged input / committed output (physical units).
+        Plane yPhys, uPhysOut;
+        // Batched workspace (mirrors LqgServoController::StepWorkspace).
+        Plane yScaled, dx, duPrev, t1, t2, t3, u, uUnsat, uPhysWs;
+        Plane awDiff, awCorr, cx, duFeed, inno, ax, bu, li, xNew;
+        Plane normAcc; //!< One row: innovation-norm accumulators.
+
+        // Per-lane metadata.
+        // Some satStreak entry may be nonzero; lets the steady-state
+        // commit skip the zero refill. Starts true (entries are zeroed
+        // by construction, but conservative is free here).
+        bool satStreakDirty = true;
+        std::vector<unsigned> satStreak;
+        std::vector<unsigned long> watchdogTrips;
+        std::vector<unsigned long> rejectedMeasurements;
+        std::vector<double> lastInnovationNorm;
+        std::vector<uint8_t> held;
+        std::vector<uint8_t> live;      //!< This step: commit this lane.
+        std::vector<uint8_t> saturated; //!< This step: clipped command.
+    };
+
+    struct LaneRef
+    {
+        uint32_t group = 0;
+        uint32_t slot = 0;
+    };
+
+    const LaneRef &ref(size_t lane) const;
+    static void growGroup(Group &g, size_t new_capacity);
+    void stepGroup(Group &g);
+    // Two builds of the same tile step (src/control/bank_step.inl):
+    // a portable one and — on x86-64 with a compiler that supports
+    // function target attributes — an AVX2 function clone, selected at
+    // runtime via __builtin_cpu_supports. Both execute the identical
+    // statement sequence per lane (and neither enables FMA
+    // contraction), so the choice never changes a trajectory's bits.
+    // The template parameters pin the design dimensions (state /
+    // input / output) at compile time for hot shapes — the gemv
+    // k-loops only vectorize when the trip count is a constant; 0
+    // means "read the dimension from the group at runtime" (the
+    // generic fallback). Constant propagation cannot reorder a lane's
+    // arithmetic, so specialization is bit-neutral too.
+    // all_live: every lane of the *group* is live this step (computed
+    // once from the classification counts, so tiles skip the scan).
+    // streaks_dirty: satStreakDirty sampled before the tiles ran —
+    // false lets a clean commit skip re-zeroing satStreak.
+    template <size_t N, size_t M, size_t P>
+    void stepTilePortable(Group &g, size_t l0, size_t len,
+                          bool all_live, bool streaks_dirty);
+    template <size_t N, size_t M, size_t P>
+    MIMOARCH_BANK_AVX2_ATTR void stepTileAvx2(Group &g, size_t l0,
+                                              size_t len,
+                                              bool all_live,
+                                              bool streaks_dirty);
+
+    std::vector<Group> groups_;
+    std::vector<LaneRef> lanes_;
+    unsigned watchdogSteps_ = 100;
+    bool useAvx2_ = false; //!< CPU supports AVX2 and the clone exists.
+
+    // Aggregated across banks (registry names are process-global),
+    // matching the loop.* / supervisor.* metric convention.
+    telemetry::Counter *tmStepCalls_;
+    telemetry::Counter *tmLaneSteps_;
+    telemetry::Counter *tmRejected_;
+    telemetry::Counter *tmWatchdogTrips_;
+    telemetry::Counter *tmHeldSkips_;
+    telemetry::Gauge *tmLanes_;
+    telemetry::Histogram *tmStepNs_;
+};
+
+} // namespace mimoarch

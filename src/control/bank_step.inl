@@ -1,0 +1,573 @@
+/**
+ * @file
+ * The ControllerBank tile step, textually included by bank.cpp — twice
+ * on x86-64: once as stepTilePortable (baseline ISA) and once as
+ * stepTileAvx2 (an `__attribute__((target("avx2")))` function clone,
+ * runtime-selected when the CPU has AVX2). The includer defines
+ *
+ *   MIMOARCH_BANK_STEP_FN    the member-function name to define
+ *   MIMOARCH_BANK_STEP_ATTR  attributes for this build of the body
+ *
+ * Both clones compile the *same* statements; the target attribute only
+ * changes how the auto-vectorizer packs lanes (xmm vs ymm). Per lane,
+ * packing never reorders arithmetic, and no ISA here carries FMA, so
+ * every lane's rounding sequence — and therefore its bits — is the
+ * same in both clones and in the scalar controller.
+ */
+
+#ifndef MIMOARCH_BANK_CAT
+#define MIMOARCH_BANK_CAT2(a, b) a##b
+#define MIMOARCH_BANK_CAT(a, b) MIMOARCH_BANK_CAT2(a, b)
+#endif
+
+/*
+ * The two passes of the fused steady-state fast path live in free
+ * functions so every plane arrives as a bona fide `__restrict`
+ * *parameter*: GCC only tracks restrict through parameters, and
+ * without it the pass-1 lane loop needs more pairwise runtime alias
+ * checks than the vectorizer's versioning budget allows — it silently
+ * stays scalar inside the member function. noinline keeps it that
+ * way: inlining back into the caller degrades the restrict tags and
+ * the lane loop falls out of vector form again (one call per
+ * 64-lane tile is noise).
+ */
+#ifndef MIMOARCH_BANK_NOINLINE
+#if defined(__GNUC__)
+#define MIMOARCH_BANK_NOINLINE __attribute__((noinline))
+#else
+#define MIMOARCH_BANK_NOINLINE
+#endif
+#endif
+
+/*
+ * Pass 1: command synthesis + saturation for `len` lanes. Per lane:
+ * dx = xHat - xSs, du = uPrev - uSs, u = uPrev + (((-Kx dx) - Ku du)
+ * - Kz z), then the physical-unit clamp. Writes the scaled command
+ * row-plane (urows), the clamped physical plane (prows), and per lane
+ * a saturation score satf[l] that is nonzero iff the clamp moved any
+ * input (or the command was NaN).
+ *
+ * IDENT: the group's I/O scalings are bit-exact identity (+1.0 scale,
+ * +0.0 offset — see Group::identityIo), so the physical<->scaled
+ * conversions collapse: (x - 0.0) / 1.0 == x bit for bit for every
+ * finite x, and everything reaching them here is finite (non-finite
+ * measurements are rejected before the fused path; a NaN command makes
+ * satf NaN, which bails to the generic path before anything commits).
+ * Dropping them removes the divides — the longest-latency ops in the
+ * pass — without touching any lane's rounding sequence.
+ */
+template <size_t N, size_t M, size_t P, bool IDENT>
+MIMOARCH_BANK_STEP_ATTR MIMOARCH_BANK_NOINLINE static void
+MIMOARCH_BANK_CAT(MIMOARCH_BANK_STEP_FN, Pass1)(
+    const double *__restrict kxm, const double *__restrict kum,
+    const double *__restrict kzm, const double *__restrict in_off,
+    const double *__restrict in_scl, const double *__restrict lim_lo,
+    const double *__restrict lim_hi, const double *__restrict xHat,
+    const double *__restrict xSs, const double *__restrict uPrev,
+    const double *__restrict uSs, const double *__restrict zInt,
+    double *__restrict urows, double *__restrict prows,
+    double *__restrict satf, size_t len, size_t s)
+{
+    for (size_t l = 0; l < len; ++l) {
+        double dxv[N], duv[M], uv[M], pv[M];
+        for (size_t k = 0; k < N; ++k)
+            dxv[k] = xHat[k * s + l] - xSs[k * s + l];
+        for (size_t k = 0; k < M; ++k)
+            duv[k] = uPrev[k * s + l] - uSs[k * s + l];
+        for (size_t i = 0; i < M; ++i) {
+            double a1 = 0.0;
+            for (size_t k = 0; k < N; ++k) {
+                const double t = kxm[i * N + k] * dxv[k];
+                a1 += t;
+            }
+            double a2 = 0.0;
+            for (size_t k = 0; k < M; ++k) {
+                const double t = kum[i * M + k] * duv[k];
+                a2 += t;
+            }
+            double a3 = 0.0;
+            for (size_t k = 0; k < P; ++k) {
+                const double t = kzm[i * P + k] * zInt[k * s + l];
+                a3 += t;
+            }
+            const double neg = -a1;
+            const double vi1 = neg - a2;
+            const double vi = vi1 - a3;
+            uv[i] = uPrev[i * s + l] + vi;
+        }
+        double sat = 0.0;
+        for (size_t i = 0; i < M; ++i) {
+            // Branchless form of the generic path's clamp:
+            // max(p, lo) is exactly (p < lo ? lo : p) and
+            // min(..., hi) exactly (p > hi ? hi : p), NaN
+            // propagation included, so the value matches the
+            // if/else bit for bit.
+            const double p0 =
+                IDENT ? uv[i] : uv[i] * in_scl[i] + in_off[i];
+            const double p1 = std::max(p0, lim_lo[i]);
+            pv[i] = std::min(p1, lim_hi[i]);
+            // Clipped iff the clamp moved the value; |Δ| of a
+            // nonzero double is nonzero, so no underflow can
+            // hide a clip. A NaN command makes sat NaN, which
+            // also routes to the generic path — the only path
+            // that can tell "NaN" from "clipped" apart the way
+            // the scalar if/else does. (Comparison-free on
+            // purpose: a ternary here combines with the min/max
+            // COND chain and defeats if-conversion.)
+            sat += std::abs(pv[i] - p0);
+            uv[i] = IDENT ? pv[i] : (pv[i] - in_off[i]) / in_scl[i];
+        }
+        satf[l] = sat;
+        for (size_t i = 0; i < M; ++i) {
+            urows[i * s + l] = uv[i];
+            prows[i * s + l] = pv[i];
+        }
+    }
+}
+
+/*
+ * Pass 2: estimator + commit for `len` lanes, valid only when pass 1
+ * saturated nothing. Per lane: innovation inv = yScaled - C xHat -
+ * D u, state update xHat' = A xHat + B u + L inv, integrator step with
+ * anti-windup clamp, innovation-norm accumulator, and the command
+ * commit — each the scalar step's statement chain verbatim. xHatW /
+ * zIntW / uPrevW are read-modify-write through a single pointer each,
+ * which restrict permits.
+ */
+template <size_t N, size_t M, size_t P, bool IDENT>
+MIMOARCH_BANK_STEP_ATTR MIMOARCH_BANK_NOINLINE static void
+MIMOARCH_BANK_CAT(MIMOARCH_BANK_STEP_FN, Pass2)(
+    const double *__restrict am, const double *__restrict bm,
+    const double *__restrict cm, const double *__restrict dm,
+    const double *__restrict km, const double *__restrict out_off,
+    const double *__restrict out_scl, const double *__restrict yPhys,
+    const double *__restrict y0S, const double *__restrict urows,
+    const double *__restrict prows, double *__restrict xHatW,
+    double *__restrict zIntW, double *__restrict uPrevW,
+    double *__restrict uOutW, double *__restrict norm, size_t len,
+    size_t s)
+{
+    for (size_t l = 0; l < len; ++l) {
+        double ys[P], inv[P], xo[N], uv[M], xnv[N];
+        for (size_t k = 0; k < P; ++k)
+            ys[k] = IDENT ? yPhys[k * s + l]
+                          : (yPhys[k * s + l] - out_off[k]) /
+                                out_scl[k];
+        for (size_t k = 0; k < N; ++k)
+            xo[k] = xHatW[k * s + l];
+        for (size_t k = 0; k < M; ++k)
+            uv[k] = urows[k * s + l];
+        for (size_t i = 0; i < P; ++i) {
+            double c1 = 0.0;
+            for (size_t k = 0; k < N; ++k) {
+                const double t = cm[i * N + k] * xo[k];
+                c1 += t;
+            }
+            double d1 = 0.0;
+            for (size_t k = 0; k < M; ++k) {
+                const double t = dm[i * M + k] * uv[k];
+                d1 += t;
+            }
+            const double t = ys[i] - c1;
+            inv[i] = t - d1;
+        }
+        for (size_t i = 0; i < N; ++i) {
+            double a1 = 0.0;
+            for (size_t k = 0; k < N; ++k) {
+                const double t = am[i * N + k] * xo[k];
+                a1 += t;
+            }
+            double b1 = 0.0;
+            for (size_t k = 0; k < M; ++k) {
+                const double t = bm[i * M + k] * uv[k];
+                b1 += t;
+            }
+            double l1 = 0.0;
+            for (size_t k = 0; k < P; ++k) {
+                const double t = km[i * P + k] * inv[k];
+                l1 += t;
+            }
+            const double t = a1 + b1;
+            xnv[i] = t + l1;
+        }
+        double na = 0.0;
+        for (size_t k = 0; k < P; ++k) {
+            const double v = inv[k];
+            const double t = v * v + 0.0 * 0.0;
+            na += t;
+        }
+        // -fno-math-errno on this TU keeps sqrt a bare vsqrtpd, so
+        // committing the norm here costs no vector form.
+        norm[l] = std::sqrt(na);
+        for (size_t k = 0; k < N; ++k)
+            xHatW[k * s + l] = xnv[k];
+        for (size_t k = 0; k < P; ++k) {
+            const double t = y0S[k * s + l] - ys[k];
+            const double z = zIntW[k * s + l] + t;
+            zIntW[k * s + l] = std::clamp(z, -100.0, 100.0);
+        }
+        for (size_t k = 0; k < M; ++k) {
+            uPrevW[k * s + l] = uv[k];
+            uOutW[k * s + l] = prows[k * s + l];
+        }
+    }
+}
+
+/*
+ * One tile of a lock-step over a design group. The phase sequence —
+ * and, per lane, every arithmetic statement — is
+ * LqgServoController::step() verbatim; see that function for the
+ * control rationale. Batched phases compute candidates for *all* lanes
+ * (garbage for held/rejected lanes is never committed); the commit
+ * applies the scalar step's state updates per lane, masked by liveness
+ * and saturation. When every lane in the tile is live and none
+ * saturated, the commit itself runs batched (the steady-state fleet
+ * fast path) — same statements, lanes interleaved, so the bits cannot
+ * differ.
+ */
+template <size_t N, size_t M, size_t P>
+MIMOARCH_BANK_STEP_ATTR void
+ControllerBank::MIMOARCH_BANK_STEP_FN(Group &g, size_t l0, size_t len,
+                                      bool all_live,
+                                      bool streaks_dirty)
+{
+    const size_t s = g.capacity;
+    // Compile-time dimensions when the shape is specialized (nonzero
+    // template arguments): the gemv k-loops below fully unroll and the
+    // lane blocks vectorize. 0 falls back to the group's runtime dims.
+    const size_t n = N != 0 ? N : g.n;
+    const size_t m = M != 0 ? M : g.m;
+    const size_t p = P != 0 ? P : g.p;
+    const StateSpaceModel &mdl = g.proto.model();
+    const LqgDesign &dsn = g.proto.design();
+    const SignalScaling &in_sc = mdl.inputScaling;
+    const SignalScaling &out_sc = mdl.outputScaling;
+
+    // --- Fused steady-state fast path (specialized shapes only) ------
+    //
+    // When every lane in the tile is live, the whole step runs as two
+    // register-resident passes: pass 1 synthesizes and saturates the
+    // command, pass 2 (taken only when nothing clipped) runs the
+    // estimator and commits. With N/M/P compile-time constants every
+    // inner k-loop fully unrolls, so intermediates (dx, t1..t3, cx,
+    // ax, ...) live in registers instead of workspace planes — the
+    // generic path below makes ~60 separate passes over the tile;
+    // this makes two. Per lane, each committed value is produced by
+    // the exact statement chain of LqgServoController::step() (gemv
+    // accumulators start at +0.0 and run k-ascending, one rounding
+    // per multiply and per add, no FMA), so fusing changes which
+    // *loop* a statement sits in, never a lane's arithmetic order —
+    // the bits cannot differ. Saturation or a non-live lane falls
+    // through to the generic path, which recomputes from the
+    // untouched persistent state.
+    if constexpr (N != 0) {
+        if (all_live) {
+            const double *__restrict kxm = dsn.kx.data().data();
+            const double *__restrict kum = dsn.ku.data().data();
+            const double *__restrict kzm = dsn.kz.data().data();
+            const double *__restrict in_off = in_sc.offset.data();
+            const double *__restrict in_scl = in_sc.scale.data();
+            const double *__restrict lim_lo = g.limits.lo.data();
+            const double *__restrict lim_hi = g.limits.hi.data();
+            const double *__restrict xHat = g.xHat.data() + l0;
+            const double *__restrict xSs = g.xSs.data() + l0;
+            const double *__restrict uPrev = g.uPrev.data() + l0;
+            const double *__restrict uSs = g.uSs.data() + l0;
+            const double *__restrict zInt = g.zInt.data() + l0;
+            double *__restrict urows = g.u.data();
+            double *__restrict prows = g.uPhysWs.data();
+            double *__restrict satf = g.awDiff.data(); // borrowed row
+
+            if (g.identityIo)
+                MIMOARCH_BANK_CAT(MIMOARCH_BANK_STEP_FN,
+                                  Pass1)<N, M, P, true>(
+                    kxm, kum, kzm, in_off, in_scl, lim_lo, lim_hi,
+                    xHat, xSs, uPrev, uSs, zInt, urows, prows, satf,
+                    len, s);
+            else
+                MIMOARCH_BANK_CAT(MIMOARCH_BANK_STEP_FN,
+                                  Pass1)<N, M, P, false>(
+                    kxm, kum, kzm, in_off, in_scl, lim_lo, lim_hi,
+                    xHat, xSs, uPrev, uSs, zInt, urows, prows, satf,
+                    len, s);
+            // Any lane clipped (or went NaN)? satf entries are sums
+            // of non-negative terms, so only +0.0 — the all-zero bit
+            // pattern — means clean; OR-ing the raw bits is an
+            // integer reduction the vectorizer takes (an FP sum
+            // would need reassociation this build forbids).
+            uint64_t satbits = 0;
+            for (size_t l = 0; l < len; ++l) {
+                uint64_t b;
+                std::memcpy(&b, &satf[l], sizeof(b));
+                satbits |= b;
+            }
+            const bool fused_any_sat = satbits != 0;
+
+            if (!fused_any_sat) {
+                // Pass 2: estimator + commit.
+                const double *__restrict am = mdl.a.data().data();
+                const double *__restrict bm = mdl.b.data().data();
+                const double *__restrict cm = mdl.c.data().data();
+                const double *__restrict dm = mdl.d.data().data();
+                const double *__restrict km =
+                    dsn.kalmanGain.data().data();
+                const double *__restrict out_off = out_sc.offset.data();
+                const double *__restrict out_scl = out_sc.scale.data();
+                const double *__restrict yPhys = g.yPhys.data() + l0;
+                const double *__restrict y0S = g.y0Scaled.data() + l0;
+                double *__restrict xHatW = g.xHat.data() + l0;
+                double *__restrict zIntW = g.zInt.data() + l0;
+                double *__restrict uPrevW = g.uPrev.data() + l0;
+                double *__restrict uOutW = g.uPhysOut.data() + l0;
+                double *__restrict norm =
+                    g.lastInnovationNorm.data() + l0;
+                if (g.identityIo)
+                    MIMOARCH_BANK_CAT(MIMOARCH_BANK_STEP_FN,
+                                      Pass2)<N, M, P, true>(
+                        am, bm, cm, dm, km, out_off, out_scl, yPhys,
+                        y0S, urows, prows, xHatW, zIntW, uPrevW, uOutW,
+                        norm, len, s);
+                else
+                    MIMOARCH_BANK_CAT(MIMOARCH_BANK_STEP_FN,
+                                      Pass2)<N, M, P, false>(
+                        am, bm, cm, dm, km, out_off, out_scl, yPhys,
+                        y0S, urows, prows, xHatW, zIntW, uPrevW, uOutW,
+                        norm, len, s);
+                if (watchdogSteps_ > 0 && streaks_dirty)
+                    std::fill_n(g.satStreak.begin() +
+                                    static_cast<std::ptrdiff_t>(l0),
+                                len, 0u);
+                return;
+            }
+        }
+    }
+
+    // --- Batched phases over the tile --------------------------------
+
+    // yScaled = toScaled(yPhys).
+    for (size_t k = 0; k < p; ++k) {
+        const double off = out_sc.offset[k], sc = out_sc.scale[k];
+        const double *__restrict yk = &g.yPhys[k * s + l0];
+        double *__restrict ok = &g.yScaled[k * s];
+        for (size_t l = 0; l < len; ++l)
+            ok[l] = (yk[l] - off) / sc;
+    }
+
+    // Command synthesis: u = uPrev + (((-Kx dx) - Ku duPrev) - Kz z).
+    subPlane(g.dx.data(), g.xHat.data() + l0, g.xSs.data() + l0, n,
+             len, s);
+    subPlane(g.duPrev.data(), g.uPrev.data() + l0,
+             g.uSs.data() + l0, m, len, s);
+    batch::gemvBatch(g.t1.data(), dsn.kx.data().data(), m, n,
+                     g.dx.data(), len, s);
+    batch::gemvBatch(g.t2.data(), dsn.ku.data().data(), m, m,
+                     g.duPrev.data(), len, s);
+    batch::gemvBatch(g.t3.data(), dsn.kz.data().data(), m, p,
+                     g.zInt.data() + l0, len, s);
+    for (size_t k = 0; k < m; ++k) {
+        const double *__restrict t1k = &g.t1[k * s];
+        const double *__restrict t2k = &g.t2[k * s];
+        const double *__restrict t3k = &g.t3[k * s];
+        const double *__restrict upk = &g.uPrev[k * s + l0];
+        double *__restrict uk = &g.u[k * s];
+        for (size_t l = 0; l < len; ++l) {
+            const double neg = -t1k[l];
+            const double vi1 = neg - t2k[l];
+            const double vi = vi1 - t3k[l];
+            uk[l] = upk[l] + vi;
+        }
+    }
+
+    // Saturate in physical units.
+    copyPlane(g.uUnsat.data(), g.u.data(), m, len, s);
+    for (size_t k = 0; k < m; ++k) {
+        const double off = in_sc.offset[k], sc = in_sc.scale[k];
+        const double *__restrict uk = &g.u[k * s];
+        double *__restrict pk = &g.uPhysWs[k * s];
+        for (size_t l = 0; l < len; ++l)
+            pk[l] = uk[l] * sc + off;
+    }
+    std::fill_n(g.saturated.begin() +
+                    static_cast<std::ptrdiff_t>(l0),
+                len, uint8_t{0});
+    for (size_t k = 0; k < m; ++k) {
+        const double lo = g.limits.lo[k], hi = g.limits.hi[k];
+        double *pk = &g.uPhysWs[k * s];
+        uint8_t *satk = g.saturated.data() + l0;
+        for (size_t l = 0; l < len; ++l) {
+            if (pk[l] < lo) {
+                pk[l] = lo;
+                satk[l] = 1;
+            } else if (pk[l] > hi) {
+                pk[l] = hi;
+                satk[l] = 1;
+            }
+        }
+    }
+    for (size_t k = 0; k < m; ++k) {
+        const double off = in_sc.offset[k], sc = in_sc.scale[k];
+        const double *__restrict pk = &g.uPhysWs[k * s];
+        double *__restrict uk = &g.u[k * s];
+        for (size_t l = 0; l < len; ++l)
+            uk[l] = (pk[l] - off) / sc;
+    }
+    const bool any_saturated =
+        std::any_of(g.saturated.begin() +
+                        static_cast<std::ptrdiff_t>(l0),
+                    g.saturated.begin() +
+                        static_cast<std::ptrdiff_t>(l0 + len),
+                    [](uint8_t f) { return f != 0; });
+    if (any_saturated) {
+        subPlane(g.awDiff.data(), g.uUnsat.data(),
+                 g.u.data(), m, len, s);
+        batch::gemvBatch(g.awCorr.data(), dsn.kzPinv.data().data(),
+                         p, m, g.awDiff.data(), len, s);
+    }
+
+    // Kalman innovation and next-state candidate.
+    batch::gemvBatch(g.cx.data(), mdl.c.data().data(), p, n,
+                     g.xHat.data() + l0, len, s);
+    batch::gemvBatch(g.duFeed.data(), mdl.d.data().data(), p, m,
+                     g.u.data(), len, s);
+    for (size_t k = 0; k < p; ++k) {
+        const double *__restrict yk = &g.yScaled[k * s];
+        const double *__restrict cxk = &g.cx[k * s];
+        const double *__restrict dfk = &g.duFeed[k * s];
+        double *__restrict ik = &g.inno[k * s];
+        for (size_t l = 0; l < len; ++l) {
+            const double t = yk[l] - cxk[l];
+            ik[l] = t - dfk[l];
+        }
+    }
+    batch::gemvBatch(g.ax.data(), mdl.a.data().data(), n, n,
+                     g.xHat.data() + l0, len, s);
+    batch::gemvBatch(g.bu.data(), mdl.b.data().data(), n, m,
+                     g.u.data(), len, s);
+    batch::gemvBatch(g.li.data(), dsn.kalmanGain.data().data(), n,
+                     p, g.inno.data(), len, s);
+    for (size_t k = 0; k < n; ++k) {
+        const double *__restrict axk = &g.ax[k * s];
+        const double *__restrict buk = &g.bu[k * s];
+        const double *__restrict lik = &g.li[k * s];
+        double *__restrict xk = &g.xNew[k * s];
+        for (size_t l = 0; l < len; ++l) {
+            const double t = axk[l] + buk[l];
+            xk[l] = t + lik[l];
+        }
+    }
+
+    // --- Commit ------------------------------------------------------
+
+    bool tile_all_live = all_live;
+    if (!tile_all_live) {
+        tile_all_live = true;
+        for (size_t l = l0; l < l0 + len; ++l)
+            tile_all_live &= g.live[l] != 0;
+    }
+
+    if (tile_all_live && !any_saturated) {
+        // Steady-state fleet fast path: every lane live, none clipped.
+        // Same statements as the masked commit below, lanes interleaved.
+        double *__restrict acc = g.normAcc.data();
+        std::fill_n(acc, len, 0.0);
+        for (size_t k = 0; k < p; ++k) {
+            const double *__restrict ik = &g.inno[k * s];
+            for (size_t l = 0; l < len; ++l) {
+                const double v = ik[l];
+                const double t = v * v + 0.0 * 0.0;
+                acc[l] += t;
+            }
+        }
+        for (size_t l = 0; l < len; ++l)
+            g.lastInnovationNorm[l0 + l] = std::sqrt(acc[l]);
+        copyPlane(g.xHat.data() + l0, g.xNew.data(), n, len, s);
+        for (size_t k = 0; k < p; ++k) {
+            const double *__restrict y0k = &g.y0Scaled[k * s + l0];
+            const double *__restrict yk = &g.yScaled[k * s];
+            double *__restrict zk = &g.zInt[k * s + l0];
+            for (size_t l = 0; l < len; ++l) {
+                const double t = y0k[l] - yk[l];
+                zk[l] += t;
+            }
+        }
+        for (size_t k = 0; k < p; ++k) {
+            double *__restrict zk = &g.zInt[k * s + l0];
+            for (size_t l = 0; l < len; ++l)
+                zk[l] = std::clamp(zk[l], -100.0, 100.0);
+        }
+        // Watchdog: nothing saturated, so every streak resets and no
+        // trip can fire.
+        if (watchdogSteps_ > 0 && streaks_dirty)
+            std::fill_n(g.satStreak.begin() +
+                            static_cast<std::ptrdiff_t>(l0),
+                        len, 0u);
+        copyPlane(g.uPrev.data() + l0, g.u.data(), m, len, s);
+        copyPlane(g.uPhysOut.data() + l0, g.uPhysWs.data(), m, len,
+                  s);
+        return;
+    }
+
+    for (size_t l = l0; l < l0 + len; ++l) {
+        // g.live is materialized only when some lane is NOT live (the
+        // count-only classification skips the store when everyone is),
+        // so it must never be read when tile_all_live already says so.
+        if (!tile_all_live && !g.live[l])
+            continue;
+        if (g.saturated[l]) {
+            // Anti-windup bleed: zInt += 0.1 * (KzPinv (uUnsat - u)).
+            for (size_t k = 0; k < p; ++k) {
+                const double t = 0.1 * g.awCorr[k * s + (l - l0)];
+                g.zInt[k * s + l] += t;
+            }
+        }
+        double acc = 0.0;
+        for (size_t k = 0; k < p; ++k) {
+            const double v = g.inno[k * s + (l - l0)];
+            const double t = v * v + 0.0 * 0.0;
+            acc += t;
+        }
+        g.lastInnovationNorm[l] = std::sqrt(acc);
+        for (size_t k = 0; k < n; ++k)
+            g.xHat[k * s + l] = g.xNew[k * s + (l - l0)];
+        if (!g.saturated[l]) {
+            for (size_t k = 0; k < p; ++k) {
+                const double t =
+                    g.y0Scaled[k * s + l] - g.yScaled[k * s + (l - l0)];
+                g.zInt[k * s + l] += t;
+            }
+        }
+        for (size_t k = 0; k < p; ++k)
+            g.zInt[k * s + l] = std::clamp(g.zInt[k * s + l], -100.0, 100.0);
+        if (watchdogSteps_ > 0) {
+            double rel_err = 0.0;
+            for (size_t k = 0; k < p; ++k) {
+                const double ref0 = g.y0Physical[k * s + l];
+                if (std::abs(ref0) > 1e-12) {
+                    rel_err = std::max(
+                        rel_err,
+                        std::abs(g.yPhys[k * s + l] - ref0) /
+                            std::abs(ref0));
+                }
+            }
+            if (g.saturated[l] && rel_err > 0.15) {
+                ++g.satStreak[l];
+                g.satStreakDirty = true;
+            } else {
+                g.satStreak[l] = 0;
+            }
+            if (g.satStreak[l] >= watchdogSteps_) {
+                g.satStreak[l] = 0;
+                ++g.watchdogTrips[l];
+                tmWatchdogTrips_->add(1);
+                for (size_t k = 0; k < n; ++k)
+                    g.xHat[k * s + l] = 0.0;
+                for (size_t k = 0; k < p; ++k)
+                    g.zInt[k * s + l] = 0.0;
+            }
+        }
+        for (size_t k = 0; k < m; ++k) {
+            g.uPrev[k * s + l] = g.u[k * s + (l - l0)];
+            g.uPhysOut[k * s + l] = g.uPhysWs[k * s + (l - l0)];
+        }
+    }
+}

@@ -62,6 +62,16 @@ struct InputLimits
 };
 
 /**
+ * Steady-state servo targets for reference @p y0_scaled: solve
+ * [A-I B; C D] [x_ss; u_ss] = [0; y0] in ridge least squares (scaled
+ * coordinates). Shared by LqgServoController and ControllerBank so a
+ * bank lane's targets are bit-identical to the scalar controller's.
+ */
+void computeServoTargets(const StateSpaceModel &model,
+                         const Matrix &y0_scaled, Matrix &x_ss,
+                         Matrix &u_ss);
+
+/**
  * The runtime LQG servo controller. Works entirely in the model's scaled
  * coordinates; callers pass physical readings and receive physical input
  * commands.

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LaneTraceRecorder: an EpochTrace built from a controller-level
+ * trajectory, so the existing digest(EpochTrace) machinery compares a
+ * ControllerBank lane against a scalar LqgServoController bit-for-bit.
+ *
+ * The harness-level EpochTrace series are repurposed with a fixed,
+ * documented convention (the digest hashes series contents and
+ * lengths, not meanings, so both sides only need to agree):
+ *
+ *   ips / power        — the measurement fed to the controller
+ *                        (y[0], y[1], physical units)
+ *   trueIps / truePower — the command the controller produced
+ *                        (u[0], u[1]; 0 when the controller has fewer
+ *                        than two inputs)
+ *   refIps / refPower  — the reference at that step
+ *   tier               — the supervisor tier driving the lane
+ *   knob series        — empty (there is no quantized plant here)
+ *   health             — the lane's final robustness counters
+ *
+ * Two trajectories digest equal iff every measurement, command,
+ * reference, tier, and final counter matches bit-for-bit — exactly the
+ * equivalence bank_equivalence_test has to prove.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/harness.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mimoarch {
+
+/** Records one controller trajectory into an EpochTrace. */
+class LaneTraceRecorder
+{
+  public:
+    /** @param expected_steps reserve() hint; 0 is fine. */
+    explicit LaneTraceRecorder(size_t expected_steps = 0);
+
+    /**
+     * Record one step: measurement @p y (O x 1, O >= 2), command @p u
+     * (I x 1), reference @p ref (O x 1), all physical units, plus the
+     * supervisor @p tier in charge of the lane this step.
+     */
+    void record(const Matrix &y, const Matrix &u, const Matrix &ref,
+                unsigned tier);
+
+    /** Stamp the lane's final robustness counters into the trace. */
+    void finish(const ControllerHealth &health);
+
+    const EpochTrace &trace() const { return trace_; }
+
+    /** digest(EpochTrace) of the recorded trajectory. */
+    uint64_t digestValue() const { return digest(trace_); }
+
+  private:
+    EpochTrace trace_;
+};
+
+} // namespace mimoarch

@@ -1,0 +1,89 @@
+#include "exec/fleet.hpp"
+
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace mimoarch::exec {
+
+FleetResult
+runFleetJob(const FleetJobConfig &cfg, const JobContext &ctx)
+{
+    if (cfg.model == nullptr || cfg.weights == nullptr ||
+        cfg.limits == nullptr) {
+        fatal("runFleetJob: config needs a model, weights, and limits");
+    }
+    if (cfg.lanes == 0)
+        fatal("runFleetJob: a fleet needs at least one lane");
+
+    const size_t outputs = static_cast<size_t>(cfg.model->c.rows());
+    Rng rng(jobSeed(ctx.key));
+
+    // Build the bank: every lane shares one design, so the DARE
+    // solves happen once and designGroups() stays 1.
+    ControllerBank bank;
+    std::vector<Matrix> refs(cfg.lanes);
+    std::vector<Matrix> ys(cfg.lanes);
+    for (size_t lane = 0; lane < cfg.lanes; ++lane) {
+        const size_t id =
+            bank.addLane(*cfg.model, *cfg.weights, *cfg.limits);
+        if (id != lane)
+            fatal("runFleetJob: non-dense lane ids");
+
+        // Deterministic per-lane operating point: the model's output
+        // operating point scaled into [1 - spread, 1 + spread].
+        const double factor = rng.uniform(1.0 - cfg.laneSpread,
+                                          1.0 + cfg.laneSpread);
+        refs[lane] = Matrix(outputs, 1);
+        ys[lane] = Matrix(outputs, 1);
+        for (size_t k = 0; k < outputs; ++k) {
+            const double base = cfg.model->outputScaling.offset[k];
+            refs[lane][k] = base * factor;
+            ys[lane][k] = base; // Start at the unshifted point.
+        }
+        bank.setReference(lane, refs[lane]);
+        bank.setMeasurement(lane, ys[lane]);
+    }
+
+    // Step the fleet. The stand-in plant is a first-order lag toward
+    // each lane's reference — cheap, allocation-free, and fully
+    // deterministic, which is what the execution layer needs (the
+    // control-theoretic fidelity lives in the harness sweeps; the
+    // bit-equivalence proof in tests/control/bank_equivalence_test).
+    const size_t poll = cfg.cancelCheckInterval > 0
+                            ? cfg.cancelCheckInterval
+                            : size_t{64};
+    for (size_t step = 0; step < cfg.steps; ++step) {
+        if (step % poll == 0 && ctx.cancel.canceled()) {
+            throw CanceledError("fleet job " + ctx.key.label() +
+                                " canceled at step " +
+                                std::to_string(step));
+        }
+        bank.stepAll();
+        for (size_t lane = 0; lane < cfg.lanes; ++lane) {
+            Matrix &y = ys[lane];
+            const Matrix &ref = refs[lane];
+            for (size_t k = 0; k < outputs; ++k)
+                y[k] += 0.2 * (ref[k] - y[k]);
+            bank.setMeasurement(lane, y);
+        }
+    }
+
+    FleetResult out;
+    out.lanes = cfg.lanes;
+    out.steps = cfg.steps;
+    out.laneSteps = static_cast<uint64_t>(cfg.lanes) * cfg.steps;
+    out.designGroups = bank.designGroups();
+    for (size_t lane = 0; lane < cfg.lanes; ++lane) {
+        out.rejected += bank.rejectedMeasurements(lane);
+        out.watchdogTrips += bank.watchdogTrips(lane);
+        out.checksum +=
+            bank.command(lane, 0) + bank.lastInnovationNorm(lane);
+    }
+    return out;
+}
+
+} // namespace mimoarch::exec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fleet jobs: one SweepRunner job drives a whole ControllerBank.
+ *
+ * The scalar sweep shape is one (plant, controller) pair per job; the
+ * fleet shape is one *bank* of N loops per job, stepped in lock-step
+ * via ControllerBank::stepAll(). runFleetJob() is the bridge between
+ * the two layers: it obeys the SweepRunner determinism contract (all
+ * randomness from jobSeed(key), own bank per attempt, cancellation
+ * polled at safe points), so fleet sweeps retry, resume, and survive
+ * chaos injection exactly like scalar ones — and FleetResult is
+ * trivially copyable, so --resume journals it.
+ *
+ * Set ResilientPolicy::bankLanes to the fleet size so the failure
+ * report records how many loops a failed job actually represents.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "control/bank.hpp"
+#include "control/lqg.hpp"
+#include "control/statespace.hpp"
+#include "exec/resilient.hpp"
+
+namespace mimoarch::exec {
+
+/** One fleet job: @p lanes loops of one design, stepped together. */
+struct FleetJobConfig
+{
+    const StateSpaceModel *model = nullptr; //!< Shared, immutable.
+    const LqgWeights *weights = nullptr;
+    const InputLimits *limits = nullptr;
+    size_t lanes = 4096; //!< Loops in the bank.
+    size_t steps = 1000; //!< stepAll() calls per job.
+    /**
+     * Relative spread of the per-lane operating point: each lane runs
+     * at the model's output operating point scaled by a deterministic
+     * factor in [1 - spread, 1 + spread] drawn from the job seed, so
+     * lanes converge to distinct fixed points and the checksum is
+     * sensitive to every lane's trajectory.
+     */
+    double laneSpread = 0.05;
+    /** stepAll() calls between cancellation polls (watchdog grain). */
+    size_t cancelCheckInterval = 64;
+};
+
+/** Journalable summary of one fleet job (trivially copyable). */
+struct FleetResult
+{
+    uint64_t lanes = 0;         //!< Bank size actually built.
+    uint64_t steps = 0;         //!< stepAll() calls executed.
+    uint64_t laneSteps = 0;     //!< lanes x steps.
+    uint64_t designGroups = 0;  //!< Distinct shared designs (1 here).
+    uint64_t rejected = 0;      //!< Summed rejected measurements.
+    uint64_t watchdogTrips = 0; //!< Summed saturation-watchdog trips.
+    double checksum = 0.0;      //!< Σ over lanes of final u[0] + norms.
+};
+
+/**
+ * Build a bank from @p cfg, step it @p cfg.steps times, and summarize.
+ * Deterministic in ctx.key (bit-identical across retries, --jobs, and
+ * resume); throws CanceledError when ctx.cancel is set. fatal()s on a
+ * null model/weights/limits or a design failure — a fleet bench
+ * misconfiguration, not a per-job fault.
+ */
+FleetResult runFleetJob(const FleetJobConfig &cfg, const JobContext &ctx);
+
+} // namespace mimoarch::exec

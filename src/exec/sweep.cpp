@@ -14,9 +14,12 @@ namespace mimoarch::exec {
 namespace {
 
 /**
- * Trace capacity a --telemetry run arms the global buffer with: room
- * for the per-epoch events of a full 23-app x 4-arch x 2000-epoch
- * figure sweep. Overflow drops (and counts) rather than reallocating.
+ * Legacy trace capacity a --telemetry run arms the global buffer with
+ * when the caller does not size it (SweepOptions::traceEpochs == 0):
+ * room for the per-epoch events of a full 23-app x 4-arch x
+ * 2000-epoch figure sweep. Overflow drops (and counts) rather than
+ * reallocating. Sized runs use telemetry::traceCapacityForEpochs()
+ * instead, keeping telemetry-ON RSS proportional to the workload.
  */
 constexpr size_t kTraceCapacity = size_t{1} << 19;
 
@@ -112,6 +115,10 @@ parseSweepArgs(int argc, char **argv)
             opt.jobs = parseJobCount(v, "--jobs");
         } else if ((v = flagValue(arg, "--telemetry", argc, argv, i))) {
             opt.telemetry = v;
+        } else if ((v = flagValue(arg, "--trace-epochs", argc, argv,
+                                  i))) {
+            opt.traceEpochs = static_cast<size_t>(
+                parseU64(v, "--trace-epochs"));
         } else if (std::strcmp(arg, "--progress") == 0) {
             opt.progress = true;
         } else if ((v = flagValue(arg, "--retries", argc, argv, i))) {
@@ -156,7 +163,8 @@ parseSweepArgs(int argc, char **argv)
         } else {
             fatal("unknown argument '", arg,
                   "' (benches accept --jobs N, --telemetry OUT.json, "
-                  "--progress, --retries N, --job-timeout S, "
+                  "--trace-epochs N, --progress, --retries N, "
+                  "--job-timeout S, "
                   "--max-failures N, --fail-fast, --resume PATH, "
                   "--failure-report PATH, and --chaos-* flags in "
                   "fault-injection builds)");
@@ -172,7 +180,11 @@ SweepRunner::SweepRunner(const SweepOptions &options)
       resilient_(options.resilient)
 {
     if (!telemetryPath_.empty() && !telemetry::trace().enabled()) {
-        telemetry::trace().start(kTraceCapacity);
+        const size_t capacity =
+            options.traceEpochs > 0
+                ? telemetry::traceCapacityForEpochs(options.traceEpochs)
+                : kTraceCapacity;
+        telemetry::trace().start(capacity);
         armedTrace_ = true;
     }
     if (jobs_ > 1)

@@ -53,13 +53,22 @@ struct SweepOptions
      * telemetry layer is compiled out.
      */
     std::string telemetry;
+    /**
+     * Expected total epochs (or bank steps) across the sweep. When
+     * > 0 and this runner arms the trace buffer, the buffer is sized
+     * via telemetry::traceCapacityForEpochs() instead of the fixed
+     * legacy worst-case preallocation, so telemetry-ON memory scales
+     * with the workload. 0 keeps the legacy capacity.
+     */
+    size_t traceEpochs = 0;
     /** Retry / watchdog / checkpoint / chaos policy for mapJobs(). */
     ResilientPolicy resilient;
 };
 
 /**
  * Parse sweep flags from a bench's argv. Execution: --jobs N / -jN,
- * --telemetry PATH, --progress. Resilience: --retries N,
+ * --telemetry PATH, --trace-epochs N, --progress. Resilience:
+ * --retries N,
  * --job-timeout S, --max-failures N, --fail-fast, --resume PATH,
  * --failure-report PATH. Chaos (fault-injection builds only):
  * --chaos-seed N, --chaos-exception-rate X, --chaos-delay-rate X,

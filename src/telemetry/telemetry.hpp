@@ -498,3 +498,23 @@ class Span
 } // namespace mimoarch::telemetry
 
 #endif // MIMOARCH_TELEMETRY
+
+namespace mimoarch::telemetry {
+
+/**
+ * Trace slots to arm for a run expected to record about
+ * @p total_epochs epoch events. An epoch contributes one span slot;
+ * the 25% headroom absorbs surrounding spans (jobs, warm-up, design
+ * solves) and supervisor instants, and the fixed slack covers
+ * setup/teardown events on tiny runs. Sizing the buffer from the
+ * workload instead of a fixed worst-case preallocation keeps the
+ * telemetry-ON RSS proportional to the sweep actually being run
+ * (tests/telemetry/rss_guard_test holds it to <= 2x the OFF build).
+ */
+constexpr size_t
+traceCapacityForEpochs(size_t total_epochs)
+{
+    return total_epochs + total_epochs / 4 + 4096;
+}
+
+} // namespace mimoarch::telemetry

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fleet jobs under the SweepRunner determinism contract: one job
+ * drives a whole ControllerBank (exec/fleet.hpp), and the results
+ * must be bit-identical regardless of worker count — the same
+ * property tests/exec/parallel_equivalence proves for scalar jobs —
+ * because every lane's randomness derives from jobSeed(key) alone.
+ * Also pins the FleetResult bookkeeping (lane/step accounting, shared
+ * design dedup) and that cancellation interrupts a running fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "exec/fleet.hpp"
+#include "exec/sweep.hpp"
+
+namespace mimoarch::exec {
+namespace {
+
+/** A dim-4 plant with non-trivial output operating points, so each
+ *  lane's reference (offset x per-lane factor) is distinct. */
+StateSpaceModel
+fleetModel()
+{
+    StateSpaceModel m;
+    m.a = Matrix{{0.55, 0.2, 0.1, 0.0},
+                 {0.1, 0.5, 0.0, 0.1},
+                 {0.05, 0.0, 0.4, 0.1},
+                 {0.0, 0.05, 0.1, 0.35}};
+    m.b = Matrix{{0.4, 0.1}, {0.2, 0.3}, {0.1, 0.05}, {0.05, 0.1}};
+    m.c = Matrix{{1.0, 0.0, 0.2, 0.1}, {0.0, 1.0, 0.1, 0.2}};
+    m.d = Matrix{{0.1, 0.02}, {0.15, 0.01}};
+    m.qn = Matrix::identity(4) * 1e-3;
+    m.rn = Matrix::identity(2) * 1e-2;
+    m.inputScaling = SignalScaling::identity(2);
+    m.outputScaling = SignalScaling::identity(2);
+    m.outputScaling.offset = {1.8, 2.2};
+    return m;
+}
+
+LqgWeights
+fleetWeights()
+{
+    LqgWeights w;
+    w.outputWeights = {10.0, 10000.0};
+    w.inputWeights = {1000.0, 50.0};
+    return w;
+}
+
+InputLimits
+fleetLimits()
+{
+    InputLimits lim;
+    lim.lo = {-50.0, -50.0};
+    lim.hi = {50.0, 50.0};
+    return lim;
+}
+
+std::vector<FleetResult>
+runFleetSweep(unsigned workers, size_t n_jobs, size_t lanes,
+              size_t steps)
+{
+    const StateSpaceModel model = fleetModel();
+    const LqgWeights weights = fleetWeights();
+    const InputLimits limits = fleetLimits();
+    FleetJobConfig cfg;
+    cfg.model = &model;
+    cfg.weights = &weights;
+    cfg.limits = &limits;
+    cfg.lanes = lanes;
+    cfg.steps = steps;
+
+    SweepOptions opt;
+    opt.jobs = workers;
+    opt.resilient.bankLanes = lanes;
+    SweepRunner runner(opt);
+    std::vector<JobKey> keys;
+    for (size_t i = 0; i < n_jobs; ++i)
+        keys.push_back({"fleet" + std::to_string(i), "bank", 0, i});
+    return runner
+        .mapJobs<FleetResult>(keys, /*fingerprint=*/0xF1EE7u,
+                              [&](const JobContext &ctx) {
+                                  return runFleetJob(cfg, ctx);
+                              })
+        .results;
+}
+
+uint64_t
+bitsOf(double v)
+{
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+TEST(FleetJob, ResultAccountingIsExact)
+{
+    const auto res = runFleetSweep(1, 2, 96, 40);
+    ASSERT_EQ(res.size(), 2u);
+    for (const FleetResult &r : res) {
+        EXPECT_EQ(r.lanes, 96u);
+        EXPECT_EQ(r.steps, 40u);
+        EXPECT_EQ(r.laneSteps, 96u * 40u);
+        // Every lane shares the design: one DARE solve per job.
+        EXPECT_EQ(r.designGroups, 1u);
+        EXPECT_EQ(r.rejected, 0u);
+        EXPECT_TRUE(std::isfinite(r.checksum));
+        EXPECT_NE(r.checksum, 0.0);
+    }
+    // Distinct job seeds give distinct lane operating points.
+    EXPECT_NE(bitsOf(res[0].checksum), bitsOf(res[1].checksum));
+}
+
+TEST(FleetJob, ChecksumsBitIdenticalAcrossWorkerCounts)
+{
+    const auto serial = runFleetSweep(1, 4, 64, 30);
+    const auto parallel = runFleetSweep(2, 4, 64, 30);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(bitsOf(serial[i].checksum),
+                  bitsOf(parallel[i].checksum))
+            << "fleet job " << i << " diverged across worker counts";
+    }
+}
+
+TEST(FleetJob, RepeatedSweepIsBitIdentical)
+{
+    const auto a = runFleetSweep(2, 3, 48, 25);
+    const auto b = runFleetSweep(2, 3, 48, 25);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(bitsOf(a[i].checksum), bitsOf(b[i].checksum));
+}
+
+TEST(FleetJob, CancellationInterruptsAFleet)
+{
+    const StateSpaceModel model = fleetModel();
+    const LqgWeights weights = fleetWeights();
+    const InputLimits limits = fleetLimits();
+    FleetJobConfig cfg;
+    cfg.model = &model;
+    cfg.weights = &weights;
+    cfg.limits = &limits;
+    cfg.lanes = 8;
+    cfg.steps = 1000;
+    cfg.cancelCheckInterval = 1;
+
+    CancellationToken cancel;
+    cancel.requestCancel();
+    const JobKey key{"fleet0", "bank", 0, 0};
+    const JobContext ctx{key, 0, 1, cancel};
+    EXPECT_THROW((void)runFleetJob(cfg, ctx), CanceledError);
+}
+
+} // namespace
+} // namespace mimoarch::exec
