@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/logging.hpp"
 #include "core/design_flow.hpp"
 #include "core/harness.hpp"
 #include "core/heuristic_search.hpp"
 #include "exec/design_cache.hpp"
+#include "exec/plant_factory.hpp"
 #include "exec/sweep.hpp"
 #include "workload/spec_suite.hpp"
 
@@ -38,6 +40,37 @@ benchConfig()
     cfg.sysidEpochsPerApp = 800;
     cfg.validationEpochsPerApp = 400;
     return cfg;
+}
+
+/**
+ * benchConfig() with the sweep's --fidelity applied. Benches that
+ * honour the flag derive their config (and so their job fingerprint —
+ * an analytic --resume journal can never feed a cycle-level sweep)
+ * from this, and build plants via exec::makePlant. For the default
+ * cycle tier this is bit-identical to benchConfig().
+ */
+inline ExperimentConfig
+benchConfig(const exec::SweepOptions &opt)
+{
+    ExperimentConfig cfg = benchConfig();
+    cfg.fidelity = opt.fidelity;
+    return cfg;
+}
+
+/**
+ * For benches whose experiment is *defined on* the cycle-level
+ * simulator (sysid studies, model-uncertainty perturbation,
+ * time-varying phases, golden-digest chaos campaigns): reject
+ * --fidelity analytic loudly instead of silently running the wrong
+ * tier.
+ */
+inline void
+requireCycleLevel(const exec::SweepOptions &opt, const char *why)
+{
+    if (opt.fidelity != PlantFidelity::CycleLevel)
+        fatal("this bench is cycle-level only (--fidelity analytic "
+              "rejected): ",
+              why);
 }
 
 /**

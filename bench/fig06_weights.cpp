@@ -43,9 +43,10 @@ struct WeightSet
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    exec::SweepRunner runner(sweep_opt);
     banner("Fig. 6: weight sensitivity (namd, track IPS/power refs)");
-    const ExperimentConfig cfg = benchConfig();
+    const ExperimentConfig cfg = benchConfig(sweep_opt);
     const auto design = cachedDesign(false);
 
     const std::vector<WeightSet> sets = {
@@ -60,7 +61,7 @@ main(int argc, char **argv)
         keys.push_back({"namd", ws.label, 0, 0});
     const std::vector<RunSummary> rows =
         runner
-            .mapJobs<RunSummary>(keys, benchFingerprint(),
+            .mapJobs<RunSummary>(keys, cfg.fingerprint(),
                                  [&](const exec::JobContext &ctx) {
             const WeightSet &ws = sets[ctx.index];
             const KnobSpace knobs(false);
@@ -74,12 +75,14 @@ main(int argc, char **argv)
             MimoArchController ctrl(design->model, w, knobs);
             ctrl.setReference(cfg.ipsReference, cfg.powerReference);
 
-            SimPlant plant(Spec2006Suite::byName("namd"), knobs);
+            auto plant = exec::makePlant(Spec2006Suite::byName("namd"),
+                                         knobs, cfg);
             DriverConfig dcfg;
             dcfg.epochs = 2500;
             dcfg.errorSkipEpochs = 300;
+            dcfg.fidelity = cfg.fidelity;
             dcfg.cancel = &ctx.cancel;
-            EpochDriver driver(plant, ctrl, dcfg);
+            EpochDriver driver(*plant, ctrl, dcfg);
             RunSummary sum = driver.run(offTargetStart());
 
             // "Steady state" means settling *at the targets*: a

@@ -21,7 +21,10 @@ using namespace mimoarch::bench;
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    requireCycleLevel(sweep_opt, "fig07 studies sysid model-order fits "
+                                 "against cycle-level trajectories");
+    exec::SweepRunner runner(sweep_opt);
     banner("Fig. 7: model prediction error vs model dimension");
     const ExperimentConfig cfg = benchConfig();
     const KnobSpace knobs(false);

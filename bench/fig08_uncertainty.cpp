@@ -52,7 +52,10 @@ minimalStableScale(const MimoDesignResult &design, const KnobSpace &knobs,
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    requireCycleLevel(sweep_opt, "fig08 perturbs the plant/model mismatch; "
+                                 "the surrogate *is* the model");
+    exec::SweepRunner runner(sweep_opt);
     banner("Fig. 8: steady-state time, high vs low uncertainty guardband");
     const ExperimentConfig cfg = benchConfig();
     const auto design = cachedDesign(false);

@@ -17,9 +17,10 @@ using namespace mimoarch::bench;
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    exec::SweepRunner runner(sweep_opt);
     banner("Fig. 9: E x D minimization, 2 inputs (normalized to Baseline)");
-    const ExperimentConfig cfg = benchConfig();
+    const ExperimentConfig cfg = benchConfig(sweep_opt);
     const auto design = cachedDesign(false);
     const auto siso = cachedSisoModels();
     const auto apps = figureAppOrder();
@@ -34,18 +35,19 @@ main(int argc, char **argv)
         keys.push_back({app, "exd-2input", 0, 0});
     const std::vector<Row> rows =
         runner
-            .mapJobs<Row>(keys, benchFingerprint(),
+            .mapJobs<Row>(keys, cfg.fingerprint(),
                           [&](const exec::JobContext &ctx) {
             const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
 
-            SimPlant pb(app, knobs);
+            auto pb = exec::makePlant(app, knobs, cfg);
             FixedController fixed(baselineSettings());
             DriverConfig bcfg;
             bcfg.epochs = epochs;
+            bcfg.fidelity = cfg.fidelity;
             bcfg.cancel = &ctx.cancel;
-            EpochDriver bd(pb, fixed, bcfg);
+            EpochDriver bd(*pb, fixed, bcfg);
             const double base = bd.run(baselineSettings()).exdMetric(2);
 
             auto mimo = flow.buildController(*design);
@@ -59,13 +61,14 @@ main(int argc, char **argv)
             ArchController *ctrls[3] = {mimo.get(), &heuristic,
                                         decoupled.get()};
             for (int a = 0; a < 3; ++a) {
-                SimPlant plant(app, knobs);
+                auto plant = exec::makePlant(app, knobs, cfg);
                 DriverConfig dcfg;
                 dcfg.epochs = epochs;
                 dcfg.useOptimizer = a != 1; // heuristic searches itself
                 dcfg.optimizer.metricExponent = 2;
+                dcfg.fidelity = cfg.fidelity;
                 dcfg.cancel = &ctx.cancel;
-                EpochDriver driver(plant, *ctrls[a], dcfg);
+                EpochDriver driver(*plant, *ctrls[a], dcfg);
                 const RunSummary sum = driver.run(baselineSettings());
                 row.ratios[a] = sum.exdMetric(2) / base;
             }

@@ -17,9 +17,10 @@ using namespace mimoarch::bench;
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    exec::SweepRunner runner(sweep_opt);
     banner("Fig. 11: tracking multiple references (all production apps)");
-    const ExperimentConfig cfg = benchConfig();
+    const ExperimentConfig cfg = benchConfig(sweep_opt);
     const auto design = cachedDesign(false);
     const auto siso = cachedSisoModels();
     const auto apps = figureAppOrder();
@@ -34,7 +35,7 @@ main(int argc, char **argv)
         keys.push_back({app, "tracking", 0, 0});
     const std::vector<Row> rows =
         runner
-            .mapJobs<Row>(keys, benchFingerprint(),
+            .mapJobs<Row>(keys, cfg.fingerprint(),
                           [&](const exec::JobContext &ctx) {
             const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
             const KnobSpace knobs(false);
@@ -52,12 +53,13 @@ main(int argc, char **argv)
             for (size_t a = 0; a < 3; ++a) {
                 ctrls[a]->setReference(cfg.ipsReference,
                                        cfg.powerReference);
-                SimPlant plant(app, knobs);
+                auto plant = exec::makePlant(app, knobs, cfg);
                 DriverConfig dcfg;
                 dcfg.epochs = 1800;
                 dcfg.errorSkipEpochs = 300;
+                dcfg.fidelity = cfg.fidelity;
                 dcfg.cancel = &ctx.cancel;
-                EpochDriver driver(plant, *ctrls[a], dcfg);
+                EpochDriver driver(*plant, *ctrls[a], dcfg);
                 const RunSummary sum = driver.run(offTargetStart());
                 row.ips[a] = sum.avgIpsErrorPct;
                 row.power[a] = sum.avgPowerErrorPct;

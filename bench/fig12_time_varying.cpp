@@ -16,7 +16,10 @@ using namespace mimoarch::bench;
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    requireCycleLevel(sweep_opt, "fig12 drives time-varying phase schedules "
+                                 "the static surrogate cannot represent");
+    exec::SweepRunner runner(sweep_opt);
     banner("Fig. 12: time-varying tracking (astar, milc; QoE schedule)");
     const ExperimentConfig cfg = benchConfig();
     const auto design = cachedDesign(false);

@@ -115,6 +115,8 @@ int
 main(int argc, char **argv)
 {
     exec::SweepOptions user_opt = benchSweepOptions(argc, argv);
+    requireCycleLevel(user_opt, "the chaos campaign checks golden digests "
+                                "recorded at cycle level");
     (void)user_opt; // Flags are validated; the campaign fixes its legs.
     banner("Exec resilience: chaos-equivalence and journal resume");
     const ExperimentConfig cfg = benchConfig();

@@ -123,7 +123,11 @@ struct Acc
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    requireCycleLevel(sweep_opt, "fault schedules corrupt cycle-level "
+                                 "sensors; surrogate noise is calibrated "
+                                 "fault-free");
+    exec::SweepRunner runner(sweep_opt);
     banner("Fault resilience: supervised vs raw MIMO vs Heuristic");
     const ExperimentConfig cfg = benchConfig();
     const auto design = cachedDesign(false);

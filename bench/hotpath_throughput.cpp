@@ -26,6 +26,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -38,6 +39,8 @@
 
 #include "bench_common.hpp"
 #include "control/bank.hpp"
+#include "exec/design_cache.hpp"
+#include "exec/plant_factory.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace mimoarch;
@@ -104,6 +107,11 @@ struct Metrics
     double sweepWallMs = 0.0;
     double epochsPerSec = 0.0;
     double sweepChecksum = 0.0;
+    double analyticCalibrationMs = 0.0; //!< One-time surrogate fits.
+    double analyticSweepWallMs = 0.0;
+    double analyticEpochsPerSec = 0.0;
+    double analyticSpeedupVsCycle = 0.0; //!< epochs/s ratio, same run.
+    double analyticSweepChecksum = 0.0;
     double peakRssMbVal = 0.0;
     double telemetryOffMs = 0.0;  //!< A/B loop, trace disarmed.
     double telemetryOnMs = 0.0;   //!< A/B loop, trace armed.
@@ -136,6 +144,16 @@ writeJson(std::FILE *f, const char *indent, const Metrics &m)
                  m.epochsPerSec);
     std::fprintf(f, "%s\"sweep_checksum\": %.17g,\n", indent,
                  m.sweepChecksum);
+    std::fprintf(f, "%s\"analytic_calibration_ms\": %.3f,\n", indent,
+                 m.analyticCalibrationMs);
+    std::fprintf(f, "%s\"analytic_sweep_wall_ms\": %.3f,\n", indent,
+                 m.analyticSweepWallMs);
+    std::fprintf(f, "%s\"analytic_epochs_per_sec\": %.1f,\n", indent,
+                 m.analyticEpochsPerSec);
+    std::fprintf(f, "%s\"analytic_speedup_vs_cycle\": %.1f,\n", indent,
+                 m.analyticSpeedupVsCycle);
+    std::fprintf(f, "%s\"analytic_sweep_checksum\": %.17g,\n", indent,
+                 m.analyticSweepChecksum);
     std::fprintf(f, "%s\"telemetry_off_ms\": %.3f,\n", indent,
                  m.telemetryOffMs);
     std::fprintf(f, "%s\"telemetry_on_ms\": %.3f,\n", indent,
@@ -261,15 +279,30 @@ main(int argc, char **argv)
         // Warm up (first steps pay one-time lazy work).
         for (size_t i = 0; i < 1000; ++i)
             ctrl.step(y);
+        // Min-of-3: the single-shot version of this loop drifted
+        // 126 -> 134 ns/step across PRs 6-8 purely from scheduler
+        // noise on the shared box. The checksum stays the historical
+        // first-pass sum (the controller keeps evolving across reps),
+        // so the bit-exact series is unbroken.
         double sum = 0.0;
-        const double t0 = nowMs();
-        for (size_t i = 0; i < micro_steps; ++i) {
-            const Matrix &u = ctrl.step(y);
-            sum += u[0];
+        double sat_best_ms = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            double rsum = 0.0;
+            const double t0 = nowMs();
+            for (size_t i = 0; i < micro_steps; ++i) {
+                const Matrix &u = ctrl.step(y);
+                rsum += u[0];
+            }
+            const double el = nowMs() - t0;
+            if (rep == 0) {
+                sum = rsum;
+                sat_best_ms = el;
+            } else if (el < sat_best_ms) {
+                sat_best_ms = el;
+            }
         }
-        const double t1 = nowMs();
         cur.controllerNsPerStep =
-            (t1 - t0) * 1e6 / static_cast<double>(micro_steps);
+            sat_best_ms * 1e6 / static_cast<double>(micro_steps);
         cur.controllerChecksum = sum;
         std::printf("controller:    %10.1f ns/step saturated (%zu steps, "
                     "checksum %.17g)\n",
@@ -441,21 +474,95 @@ main(int argc, char **argv)
     std::printf("peak RSS:      %10.2f MB\n", cur.peakRssMbVal);
     std::printf("sweep checksum: %.17g\n", cur.sweepChecksum);
 
-    // 4. Telemetry ON-vs-OFF A/B: one serial FixedController loop with
+    // 3b. The same sweep shape at the analytic tier (DESIGN.md §13):
+    // surrogate plants stepped for 25x the epochs per app, because at
+    // surrogate cost the cycle-level epoch count finishes too fast to
+    // time. Calibration (one cycle-level sysid run per app, cached
+    // process-wide) is timed separately — it is a one-time cost a real
+    // analytic campaign amortizes over its whole sweep.
+    {
+        ExperimentConfig acfg = cfg;
+        acfg.fidelity = PlantFidelity::Analytic;
+        const KnobSpace knobs(false);
+        const double t_cal = nowMs();
+        for (size_t i = 0; i < n_apps; ++i) {
+            (void)exec::DesignCache::instance().surrogate(
+                Spec2006Suite::byName(apps[i]), knobs, acfg);
+        }
+        cur.analyticCalibrationMs = nowMs() - t_cal;
+
+        const size_t an_epochs = epochs * 25;
+        Fnv64 fp;
+        fp.str("hotpath-analytic").u64(benchFingerprint());
+        std::vector<exec::JobKey> an_keys;
+        for (size_t i = 0; i < n_apps; ++i)
+            an_keys.push_back({apps[i], "hotpath-analytic", 0, 0});
+        const double t_an = nowMs();
+        const std::vector<double> an_exd =
+            runner
+                .mapJobs<double>(an_keys, fp.value(),
+                                 [&](const exec::JobContext &ctx) {
+                const AppSpec &app = Spec2006Suite::byName(ctx.key.app);
+                const KnobSpace job_knobs(false);
+                const MimoControllerDesign flow(job_knobs, acfg);
+                auto mimo = flow.buildController(*design);
+                auto plant = exec::makePlant(app, job_knobs, acfg);
+                DriverConfig dcfg;
+                dcfg.epochs = an_epochs;
+                dcfg.useOptimizer = true;
+                dcfg.optimizer.metricExponent = 2;
+                dcfg.fidelity = PlantFidelity::Analytic;
+                dcfg.cancel = &ctx.cancel;
+                EpochDriver driver(*plant, *mimo, dcfg);
+                return driver.run(baselineSettings()).exdMetric(2);
+            })
+                .results;
+        cur.analyticSweepWallMs = nowMs() - t_an;
+        const double an_total = static_cast<double>(n_apps) *
+            static_cast<double>(an_epochs);
+        cur.analyticEpochsPerSec =
+            an_total / (cur.analyticSweepWallMs / 1000.0);
+        cur.analyticSpeedupVsCycle =
+            cur.epochsPerSec > 0.0
+                ? cur.analyticEpochsPerSec / cur.epochsPerSec
+                : 0.0;
+        for (double v : an_exd)
+            cur.analyticSweepChecksum += v;
+        std::printf("analytic:      %10.1f ms wall (%zu apps x %zu "
+                    "epochs, calib %.0f ms) = %.0f epochs/s, %.0fx "
+                    "cycle-level\n",
+                    cur.analyticSweepWallMs, n_apps, an_epochs,
+                    cur.analyticCalibrationMs, cur.analyticEpochsPerSec,
+                    cur.analyticSpeedupVsCycle);
+        std::printf("analytic checksum: %.17g\n",
+                    cur.analyticSweepChecksum);
+    }
+
+    // 4. Telemetry ON-vs-OFF A/B: serial FixedController loops with
     // the trace buffer disarmed, then armed, so the trajectory tracks
-    // what arming costs in wall time and resident set. With
+    // what arming costs in wall time and resident set. Each side takes
+    // its best of three: the overhead is a difference of two wall
+    // measurements in the same percent-scale range as this box's
+    // scheduler jitter, and the single-shot version of this block
+    // reported a nonsensical negative overhead. With
     // MIMOARCH_TELEMETRY=0 (or when --telemetry armed the buffer for
     // the whole process) the two passes are identical by construction.
     {
         telemetry::Span span("telemetry-ab", "bench");
         const size_t probe_epochs = 20000;
         const bool externally_armed = telemetry::trace().enabled();
-        cur.telemetryOffMs = telemetryProbeRun(probe_epochs);
+        const auto min_of_3 = [&] {
+            double best = telemetryProbeRun(probe_epochs);
+            for (int rep = 1; rep < 3; ++rep)
+                best = std::min(best, telemetryProbeRun(probe_epochs));
+            return best;
+        };
+        cur.telemetryOffMs = min_of_3();
         const double rss_before = peakRssMb();
         if (!externally_armed)
             telemetry::trace().start(
-                telemetry::traceCapacityForEpochs(probe_epochs));
-        cur.telemetryOnMs = telemetryProbeRun(probe_epochs);
+                telemetry::traceCapacityForEpochs(3 * probe_epochs));
+        cur.telemetryOnMs = min_of_3();
         if (!externally_armed)
             telemetry::trace().stop();
         cur.telemetryRssDeltaMb = peakRssMb() - rss_before;
@@ -492,6 +599,16 @@ main(int argc, char **argv)
             base.sweepWallMs = findNumber(text, "sweep_wall_ms");
             base.epochsPerSec = findNumber(text, "epochs_per_sec");
             base.sweepChecksum = findNumber(text, "sweep_checksum");
+            base.analyticCalibrationMs =
+                findNumber(text, "analytic_calibration_ms");
+            base.analyticSweepWallMs =
+                findNumber(text, "analytic_sweep_wall_ms");
+            base.analyticEpochsPerSec =
+                findNumber(text, "analytic_epochs_per_sec");
+            base.analyticSpeedupVsCycle =
+                findNumber(text, "analytic_speedup_vs_cycle");
+            base.analyticSweepChecksum =
+                findNumber(text, "analytic_sweep_checksum");
             base.peakRssMbVal = findNumber(text, "peak_rss_mb");
             base.telemetryOffMs = findNumber(text, "telemetry_off_ms");
             base.telemetryOnMs = findNumber(text, "telemetry_on_ms");
@@ -517,7 +634,11 @@ main(int argc, char **argv)
                  {&base.telemetryOffMs, &base.telemetryOnMs,
                   &base.telemetryOverheadPct, &base.telemetryRssDeltaMb,
                   &base.controllerSteadyNsPerStep,
-                  &base.controllerSteadyChecksum, &base.bankLanes,
+                  &base.controllerSteadyChecksum,
+                  &base.analyticCalibrationMs, &base.analyticSweepWallMs,
+                  &base.analyticEpochsPerSec,
+                  &base.analyticSpeedupVsCycle,
+                  &base.analyticSweepChecksum, &base.bankLanes,
                   &base.bankStepsPerSec, &base.bankNsPerLaneStep,
                   &base.bankSpeedupVsScalar, &base.bankChecksum,
                   &base.bankSaturatedNsPerLaneStep,

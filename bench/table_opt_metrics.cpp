@@ -17,9 +17,10 @@ using namespace mimoarch::bench;
 int
 main(int argc, char **argv)
 {
-    exec::SweepRunner runner(benchSweepOptions(argc, argv));
+    const exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    exec::SweepRunner runner(sweep_opt);
     banner("Table (VIII-F): optimizing E and E x D^2 (2 inputs)");
-    const ExperimentConfig cfg = benchConfig();
+    const ExperimentConfig cfg = benchConfig(sweep_opt);
     const auto design = cachedDesign(false);
     const auto siso = cachedSisoModels();
 
@@ -42,7 +43,7 @@ main(int argc, char **argv)
             keys.push_back({app, "opt-metric", k, 0});
     const std::vector<Row> rows =
         runner
-            .mapJobs<Row>(keys, benchFingerprint(),
+            .mapJobs<Row>(keys, cfg.fingerprint(),
                           [&](const exec::JobContext &ctx) {
             const unsigned k =
                 static_cast<unsigned>(ctx.key.config);
@@ -50,12 +51,13 @@ main(int argc, char **argv)
             const KnobSpace knobs(false);
             const MimoControllerDesign flow(knobs, cfg);
 
-            SimPlant pb(app, knobs);
+            auto pb = exec::makePlant(app, knobs, cfg);
             FixedController fixed(baselineSettings());
             DriverConfig bcfg;
             bcfg.epochs = epochs;
+            bcfg.fidelity = cfg.fidelity;
             bcfg.cancel = &ctx.cancel;
-            EpochDriver bd(pb, fixed, bcfg);
+            EpochDriver bd(*pb, fixed, bcfg);
             const double base = bd.run(baselineSettings()).exdMetric(k);
 
             auto mimo = flow.buildController(*design);
@@ -72,13 +74,14 @@ main(int argc, char **argv)
             ArchController *ctrls[3] = {mimo.get(), &heuristic,
                                         decoupled.get()};
             for (int a = 0; a < 3; ++a) {
-                SimPlant plant(app, knobs);
+                auto plant = exec::makePlant(app, knobs, cfg);
                 DriverConfig dcfg;
                 dcfg.epochs = epochs;
                 dcfg.useOptimizer = a != 1;
                 dcfg.optimizer.metricExponent = k;
+                dcfg.fidelity = cfg.fidelity;
                 dcfg.cancel = &ctx.cancel;
-                EpochDriver driver(plant, *ctrls[a], dcfg);
+                EpochDriver driver(*plant, *ctrls[a], dcfg);
                 row.ratios[a] =
                     driver.run(baselineSettings()).exdMetric(k) / base;
             }

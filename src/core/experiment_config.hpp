@@ -17,6 +17,7 @@
 
 #include "common/hash.hpp"
 #include "control/lqg.hpp"
+#include "core/fidelity.hpp"
 #include "sysid/arx.hpp"
 #include "sysid/waveform.hpp"
 
@@ -108,6 +109,16 @@ struct ExperimentConfig
     /** Fault environment for robustness experiments (off by default). */
     FaultScheduleConfig faults{};
 
+    /**
+     * Plant tier this experiment runs against (DESIGN.md §13). Folded
+     * into fingerprint() so analytic sweeps journal and cache under a
+     * distinct identity; design-flow products key on
+     * designFingerprint() instead, because controllers are always
+     * designed against the cycle-level substrate regardless of the
+     * tier they are later run at.
+     */
+    PlantFidelity fidelity = PlantFidelity::CycleLevel;
+
     /** LQG weights for a 2- or 3-input design, y = [IPS, power]. */
     LqgWeights
     lqgWeights(bool with_rob) const
@@ -160,7 +171,24 @@ struct ExperimentConfig
         h.f64(f.weightDropTransition).f64(f.weightLagTransition)
             .f64(f.weightStuckCache);
         h.u64(f.lagEpochs).u64(f.cacheStuckEpochs);
+        h.u64(static_cast<uint64_t>(fidelity));
         return h.value();
+    }
+
+    /**
+     * fingerprint() with the fidelity selector normalized to
+     * CycleLevel: the identity of everything produced by the *design
+     * flow* (models, gains, surrogate calibrations), which always runs
+     * the cycle-level simulator. Keying the DesignCache on this keeps
+     * an analytic run sharing the exact same design products as its
+     * cycle-level twin instead of re-identifying them.
+     */
+    uint64_t
+    designFingerprint() const
+    {
+        ExperimentConfig c = *this;
+        c.fidelity = PlantFidelity::CycleLevel;
+        return c.fingerprint();
     }
 };
 

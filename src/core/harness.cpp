@@ -63,12 +63,18 @@ EpochDriver::EpochDriver(Plant &plant, ArchController &controller,
     if (config_.epochs == 0)
         fatal("EpochDriver: zero epochs");
     telemetry::Registry &reg = telemetry::registry();
-    tmEpochs_ = &reg.counter("loop.epochs");
-    tmKnobMoves_ = &reg.counter("loop.knob_moves");
-    tmNonfiniteSkips_ = &reg.counter("loop.nonfinite_skips");
-    tmEpochNs_ = &reg.histogram("loop.epoch_ns");
-    tmIpsErrBp_ = &reg.histogram("loop.ips_err_bp");
-    tmPowerErrBp_ = &reg.histogram("loop.power_err_bp");
+    const bool an = config_.fidelity == PlantFidelity::Analytic;
+    tmEpochs_ = &reg.counter(an ? "loop.analytic.epochs" : "loop.epochs");
+    tmKnobMoves_ = &reg.counter(
+        an ? "loop.analytic.knob_moves" : "loop.knob_moves");
+    tmNonfiniteSkips_ = &reg.counter(
+        an ? "loop.analytic.nonfinite_skips" : "loop.nonfinite_skips");
+    tmEpochNs_ = &reg.histogram(
+        an ? "loop.analytic.epoch_ns" : "loop.epoch_ns");
+    tmIpsErrBp_ = &reg.histogram(
+        an ? "loop.analytic.ips_err_bp" : "loop.ips_err_bp");
+    tmPowerErrBp_ = &reg.histogram(
+        an ? "loop.analytic.power_err_bp" : "loop.power_err_bp");
 }
 
 namespace {

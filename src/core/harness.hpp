@@ -16,6 +16,7 @@
 
 #include "common/cancel.hpp"
 #include "core/controllers.hpp"
+#include "core/fidelity.hpp"
 #include "core/optimizer.hpp"
 #include "core/phase_detect.hpp"
 #include "core/plant.hpp"
@@ -100,6 +101,16 @@ struct DriverConfig
     size_t warmupEpochs = 150;     //!< Fast-forward before control.
     size_t errorSkipEpochs = 200;  //!< Transient excluded from errors.
     bool recordTrace = false;
+
+    /**
+     * Which plant tier this driver is closing the loop around. Purely
+     * a telemetry tag: analytic-tier drivers register their loop
+     * metrics under "loop.analytic.*" so a mixed-fidelity process does
+     * not fold 100x-cheaper surrogate epochs into the cycle-level
+     * latency histograms (and cycle-level exporter output stays
+     * byte-stable when no analytic driver was ever constructed).
+     */
+    PlantFidelity fidelity = PlantFidelity::CycleLevel;
 
     bool useOptimizer = false;
     OptimizerConfig optimizer{};

@@ -20,6 +20,17 @@ KnobSpace::toVector(const KnobSettings &s) const
     return Matrix::vector(v);
 }
 
+void
+KnobSpace::toVectorInto(Matrix &out, const KnobSettings &s) const
+{
+    if (out.rows() != numInputs() || out.cols() != 1)
+        out = Matrix(numInputs(), 1);
+    out[0] = DvfsController::freqAtLevel(s.freqLevel);
+    out[1] = static_cast<double>(s.cacheSetting + 1);
+    if (includeRob_)
+        out[2] = static_cast<double>(s.robPartitions);
+}
+
 KnobSettings
 KnobSpace::quantize(const Matrix &u_physical) const
 {

@@ -52,6 +52,13 @@ class KnobSpace
     /** Physical input vector for concrete settings. */
     Matrix toVector(const KnobSettings &s) const;
 
+    /**
+     * toVector() into a caller-owned numInputs() x 1 buffer; no
+     * allocation once @p out has the right shape. Bit-identical to the
+     * value-returning form.
+     */
+    void toVectorInto(Matrix &out, const KnobSettings &s) const;
+
     /** Nearest valid settings for a continuous input vector. */
     KnobSettings quantize(const Matrix &u_physical) const;
 

@@ -55,9 +55,11 @@ std::shared_ptr<const MimoDesignResult>
 DesignCache::design(const KnobSpace &knobs, const ExperimentConfig &cfg,
                     const ProcessorConfig &proc, uint64_t proc_tag)
 {
+    // designFingerprint(): design products are fidelity-agnostic, so
+    // an analytic sweep reuses its cycle-level twin's entry.
     Fnv64 h;
-    h.str("mimo-design").u64(knobs.numInputs()).u64(cfg.fingerprint())
-        .u64(proc_tag);
+    h.str("mimo-design").u64(knobs.numInputs())
+        .u64(cfg.designFingerprint()).u64(proc_tag);
     return getOrCompute<MimoDesignResult>(h.value(), [&] {
         std::fprintf(stderr,
                      "# designing %zu-input MIMO controller (system "
@@ -75,7 +77,7 @@ DesignCache::sisoModels(const ExperimentConfig &cfg,
                         const ProcessorConfig &proc, uint64_t proc_tag)
 {
     Fnv64 h;
-    h.str("siso-models").u64(cfg.fingerprint()).u64(proc_tag);
+    h.str("siso-models").u64(cfg.designFingerprint()).u64(proc_tag);
     return getOrCompute<SisoModels>(h.value(), [&] {
         std::fprintf(stderr,
                      "# identifying Decoupled SISO models (cache->IPS, "
@@ -88,6 +90,23 @@ DesignCache::sisoModels(const ExperimentConfig &cfg,
         models->cacheToIps = c2i;
         models->freqToPower = f2p;
         return models;
+    });
+}
+
+std::shared_ptr<const SurrogateModel>
+DesignCache::surrogate(const AppSpec &app, const KnobSpace &knobs,
+                       const ExperimentConfig &cfg,
+                       const ProcessorConfig &proc, uint64_t proc_tag)
+{
+    Fnv64 h;
+    h.str("surrogate-cal").str(app.name).u64(knobs.numInputs())
+        .u64(cfg.designFingerprint()).u64(proc_tag);
+    return getOrCompute<SurrogateModel>(h.value(), [&] {
+        std::fprintf(stderr,
+                     "# calibrating analytic surrogate for %s...\n",
+                     app.name.c_str());
+        return std::make_shared<SurrogateModel>(
+            calibrateSurrogate(app, knobs, cfg, proc));
     });
 }
 

@@ -19,6 +19,7 @@
 #include <shared_mutex>
 
 #include "core/design_flow.hpp"
+#include "plant/surrogate.hpp"
 
 namespace mimoarch::exec {
 
@@ -61,6 +62,17 @@ class DesignCache
     std::shared_ptr<const SisoModels>
     sisoModels(const ExperimentConfig &cfg,
                const ProcessorConfig &proc = {}, uint64_t proc_tag = 0);
+
+    /**
+     * Memoized calibrateSurrogate() for one application (DESIGN.md
+     * §13). Keyed on (app, inputs, cfg.designFingerprint(), proc_tag):
+     * calibration always runs the cycle-level simulator, so an
+     * analytic config shares the entry with its cycle-level twin.
+     */
+    std::shared_ptr<const SurrogateModel>
+    surrogate(const AppSpec &app, const KnobSpace &knobs,
+              const ExperimentConfig &cfg,
+              const ProcessorConfig &proc = {}, uint64_t proc_tag = 0);
 
     /** Full designs computed so far (not cache hits) — for tests. */
     unsigned long designComputations() const;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "common/random.hpp"
 #include "telemetry/telemetry.hpp"
@@ -48,10 +49,36 @@ runFleetJob(const FleetJobConfig &cfg, const JobContext &ctx)
         bank.setMeasurement(lane, ys[lane]);
     }
 
-    // Step the fleet. The stand-in plant is a first-order lag toward
-    // each lane's reference — cheap, allocation-free, and fully
-    // deterministic, which is what the execution layer needs (the
-    // control-theoretic fidelity lives in the harness sweeps; the
+    // Analytic tier: each lane closes its loop around its own instance
+    // of the calibrated surrogate dynamics, seeded from (job seed,
+    // lane) — the same identified response surface the scalar analytic
+    // sweeps run against, at per-lane gemv cost.
+    const bool analytic = cfg.fidelity == PlantFidelity::Analytic;
+    std::vector<SurrogateDynamics> dyns;
+    Matrix u;
+    if (analytic) {
+        if (cfg.surrogate == nullptr)
+            fatal("runFleetJob: analytic fidelity needs a surrogate");
+        const StateSpaceModel &sd = cfg.surrogate->dynamics;
+        if (sd.numInputs() != cfg.model->numInputs() ||
+            sd.numOutputs() != outputs) {
+            fatal("runFleetJob: surrogate shape (", sd.numInputs(), "x",
+                  sd.numOutputs(), ") does not match the design model");
+        }
+        u = Matrix(sd.numInputs(), 1);
+        dyns.reserve(cfg.lanes);
+        const uint64_t job_seed = jobSeed(ctx.key);
+        for (size_t lane = 0; lane < cfg.lanes; ++lane) {
+            Fnv64 h;
+            h.str("fleet-lane").u64(job_seed).u64(lane);
+            dyns.emplace_back(*cfg.surrogate, h.value());
+        }
+    }
+
+    // Step the fleet. The cycle-level stand-in plant is a first-order
+    // lag toward each lane's reference — cheap, allocation-free, and
+    // fully deterministic, which is what the execution layer needs
+    // (the control-theoretic fidelity lives in the harness sweeps; the
     // bit-equivalence proof in tests/control/bank_equivalence_test).
     const size_t poll = cfg.cancelCheckInterval > 0
                             ? cfg.cancelCheckInterval
@@ -63,6 +90,13 @@ runFleetJob(const FleetJobConfig &cfg, const JobContext &ctx)
                                 std::to_string(step));
         }
         bank.stepAll();
+        if (analytic) {
+            for (size_t lane = 0; lane < cfg.lanes; ++lane) {
+                bank.commandInto(lane, u);
+                bank.setMeasurement(lane, dyns[lane].step(u));
+            }
+            continue;
+        }
         for (size_t lane = 0; lane < cfg.lanes; ++lane) {
             Matrix &y = ys[lane];
             const Matrix &ref = refs[lane];
@@ -77,6 +111,7 @@ runFleetJob(const FleetJobConfig &cfg, const JobContext &ctx)
     out.steps = cfg.steps;
     out.laneSteps = static_cast<uint64_t>(cfg.lanes) * cfg.steps;
     out.designGroups = bank.designGroups();
+    out.fidelity = static_cast<uint64_t>(cfg.fidelity);
     for (size_t lane = 0; lane < cfg.lanes; ++lane) {
         out.rejected += bank.rejectedMeasurements(lane);
         out.watchdogTrips += bank.watchdogTrips(lane);

@@ -23,7 +23,9 @@
 #include "control/bank.hpp"
 #include "control/lqg.hpp"
 #include "control/statespace.hpp"
+#include "core/fidelity.hpp"
 #include "exec/resilient.hpp"
+#include "plant/surrogate.hpp"
 
 namespace mimoarch::exec {
 
@@ -45,6 +47,16 @@ struct FleetJobConfig
     double laneSpread = 0.05;
     /** stepAll() calls between cancellation polls (watchdog grain). */
     size_t cancelCheckInterval = 64;
+    /**
+     * Per-lane plant tier (DESIGN.md §13). CycleLevel keeps the
+     * documented first-order-lag stand-in; Analytic closes each lane's
+     * loop around its own SurrogateDynamics instance of @ref surrogate
+     * (seeded from the job seed and the lane index), so fleet jobs
+     * exercise real identified dynamics at surrogate cost.
+     */
+    PlantFidelity fidelity = PlantFidelity::CycleLevel;
+    /** Required when fidelity == Analytic. Shared, immutable. */
+    const SurrogateModel *surrogate = nullptr;
 };
 
 /** Journalable summary of one fleet job (trivially copyable). */
@@ -56,6 +68,7 @@ struct FleetResult
     uint64_t designGroups = 0;  //!< Distinct shared designs (1 here).
     uint64_t rejected = 0;      //!< Summed rejected measurements.
     uint64_t watchdogTrips = 0; //!< Summed saturation-watchdog trips.
+    uint64_t fidelity = 0;      //!< PlantFidelity the job ran at.
     double checksum = 0.0;      //!< Σ over lanes of final u[0] + norms.
 };
 

@@ -1,0 +1,37 @@
+#include "exec/plant_factory.hpp"
+
+#include "exec/design_cache.hpp"
+
+namespace mimoarch::exec {
+
+std::unique_ptr<Plant>
+makePlant(const AppSpec &app, const KnobSpace &knobs,
+          const ExperimentConfig &cfg, const ProcessorConfig &proc,
+          uint64_t seed_salt, uint64_t proc_tag)
+{
+    if (cfg.fidelity == PlantFidelity::Analytic) {
+        return std::make_unique<SurrogatePlant>(
+            DesignCache::instance().surrogate(app, knobs, cfg, proc,
+                                              proc_tag),
+            knobs, seed_salt);
+    }
+    return std::make_unique<SimPlant>(app, knobs, proc, seed_salt);
+}
+
+void
+warmupPlant(Plant &plant, size_t epochs)
+{
+    if (auto *sim = dynamic_cast<SimPlant *>(&plant)) {
+        sim->warmup(epochs);
+        return;
+    }
+    if (auto *sur = dynamic_cast<SurrogatePlant *>(&plant)) {
+        sur->warmup(epochs);
+        return;
+    }
+    // Generic fallback: epochs at the current settings.
+    for (size_t i = 0; i < epochs; ++i)
+        plant.step(plant.currentSettings());
+}
+
+} // namespace mimoarch::exec

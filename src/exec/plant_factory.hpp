@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fidelity-dispatched plant construction (DESIGN.md §13): the one
+ * place a bench or test needs to touch to honour --fidelity.
+ *
+ * CycleLevel returns the regular SimPlant. Analytic fetches (or
+ * calibrates, once per process per app) the surrogate from the
+ * DesignCache and wraps it in a SurrogatePlant. Both tiers take the
+ * same seed_salt and honour the determinism contract: the returned
+ * plant's trajectory is a pure function of
+ * (app, cfg.designFingerprint(), proc, seed_salt).
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "core/plant.hpp"
+#include "plant/surrogate.hpp"
+
+namespace mimoarch::exec {
+
+std::unique_ptr<Plant>
+makePlant(const AppSpec &app, const KnobSpace &knobs,
+          const ExperimentConfig &cfg, const ProcessorConfig &proc = {},
+          uint64_t seed_salt = 0, uint64_t proc_tag = 0);
+
+/**
+ * Warm a factory-built plant up for @p epochs at its current settings
+ * (both tiers implement warmup, but not through the Plant interface).
+ */
+void warmupPlant(Plant &plant, size_t epochs);
+
+} // namespace mimoarch::exec

@@ -121,6 +121,14 @@ parseSweepArgs(int argc, char **argv)
                 parseU64(v, "--trace-epochs"));
         } else if (std::strcmp(arg, "--progress") == 0) {
             opt.progress = true;
+        } else if ((v = flagValue(arg, "--fidelity", argc, argv, i))) {
+            if (std::strcmp(v, "cycle") == 0)
+                opt.fidelity = PlantFidelity::CycleLevel;
+            else if (std::strcmp(v, "analytic") == 0)
+                opt.fidelity = PlantFidelity::Analytic;
+            else
+                fatal("--fidelity: expected 'cycle' or 'analytic', "
+                      "got '", v, "'");
         } else if ((v = flagValue(arg, "--retries", argc, argv, i))) {
             opt.resilient.maxAttempts =
                 1 + static_cast<unsigned>(parseU64(v, "--retries"));
@@ -163,7 +171,8 @@ parseSweepArgs(int argc, char **argv)
         } else {
             fatal("unknown argument '", arg,
                   "' (benches accept --jobs N, --telemetry OUT.json, "
-                  "--trace-epochs N, --progress, --retries N, "
+                  "--trace-epochs N, --progress, "
+                  "--fidelity cycle|analytic, --retries N, "
                   "--job-timeout S, "
                   "--max-failures N, --fail-fast, --resume PATH, "
                   "--failure-report PATH, and --chaos-* flags in "

@@ -35,6 +35,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/fidelity.hpp"
 #include "exec/resilient.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -61,13 +62,22 @@ struct SweepOptions
      * with the workload. 0 keeps the legacy capacity.
      */
     size_t traceEpochs = 0;
+    /**
+     * Plant tier the bench should sweep at (--fidelity cycle|analytic,
+     * DESIGN.md §13). Benches that honour it copy this into their
+     * ExperimentConfig (folding it into the sweep fingerprint) and
+     * build plants through exec::makePlant(); benches that are
+     * inherently cycle-level simply ignore it.
+     */
+    PlantFidelity fidelity = PlantFidelity::CycleLevel;
     /** Retry / watchdog / checkpoint / chaos policy for mapJobs(). */
     ResilientPolicy resilient;
 };
 
 /**
  * Parse sweep flags from a bench's argv. Execution: --jobs N / -jN,
- * --telemetry PATH, --trace-epochs N, --progress. Resilience:
+ * --telemetry PATH, --trace-epochs N, --progress,
+ * --fidelity cycle|analytic. Resilience:
  * --retries N,
  * --job-timeout S, --max-failures N, --fail-fast, --resume PATH,
  * --failure-report PATH. Chaos (fault-injection builds only):

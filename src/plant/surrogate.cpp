@@ -1,0 +1,270 @@
+#include "plant/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+#include "core/design_flow.hpp"
+#include "linalg/leastsq.hpp"
+#include "sysid/arx.hpp"
+#include "sysid/waveform.hpp"
+
+namespace mimoarch {
+
+namespace {
+
+void
+hashMatrix(Fnv64 &h, const Matrix &m)
+{
+    h.u64(m.rows()).u64(m.cols());
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            h.f64(m(r, c));
+}
+
+void
+hashScaling(Fnv64 &h, const SignalScaling &s)
+{
+    h.u64(s.offset.size());
+    for (double v : s.offset)
+        h.f64(v);
+    for (double v : s.scale)
+        h.f64(v);
+}
+
+void
+hashDoubles(Fnv64 &h, const std::vector<double> &v)
+{
+    h.u64(v.size());
+    for (double x : v)
+        h.f64(x);
+}
+
+} // namespace
+
+uint64_t
+SurrogateModel::digest() const
+{
+    Fnv64 h;
+    h.str(appName);
+    hashMatrix(h, dynamics.a);
+    hashMatrix(h, dynamics.b);
+    hashMatrix(h, dynamics.c);
+    hashMatrix(h, dynamics.d);
+    hashMatrix(h, dynamics.qn);
+    hashMatrix(h, dynamics.rn);
+    hashScaling(h, dynamics.inputScaling);
+    hashScaling(h, dynamics.outputScaling);
+    hashDoubles(h, noiseSigma);
+    hashDoubles(h, fit.meanRelError);
+    hashDoubles(h, fit.maxRelError);
+    hashMatrix(h, l2Coef);
+    h.f64(ipcPerIpsOverFreq).f64(energyPerPowerSecond).f64(epochSeconds);
+    h.f64(ipsFloor).f64(powerFloor);
+    return h.value();
+}
+
+SurrogateModel
+calibrateSurrogate(const AppSpec &app, const KnobSpace &knobs,
+                   const ExperimentConfig &cfg,
+                   const ProcessorConfig &proc)
+{
+    // The same experiment shape as the design flow's collectRecord():
+    // warm up, drive a seeded excitation waveform through the quantized
+    // knobs, record what the cycle-level substrate did — plus the
+    // auxiliary sensors the (IPS, power) model does not cover.
+    SimPlant plant(app, knobs, proc);
+    WaveformConfig wcfg;
+    wcfg.lengthEpochs = cfg.sysidEpochsPerApp;
+    wcfg.seed = sysidSeed("surrogate-cal", app.name);
+    const Matrix u = generateExcitation(knobs.channels(), wcfg);
+    plant.warmup(cfg.warmupEpochs);
+
+    const size_t epochs = u.rows();
+    const size_t inputs = knobs.numInputs();
+    if (epochs < 32)
+        fatal("calibrateSurrogate: need >= 32 calibration epochs, have ",
+              epochs);
+    Matrix y(epochs, kNumPlantOutputs);
+    std::vector<double> l2(epochs), ipc(epochs), energy(epochs);
+    for (size_t t = 0; t < epochs; ++t) {
+        const KnobSettings s = knobs.quantize(u.row(t).transpose());
+        const Matrix &yt = plant.step(s);
+        y(t, kOutputIps) = yt[kOutputIps];
+        y(t, kOutputPower) = yt[kOutputPower];
+        l2[t] = plant.lastL2Mpki();
+        ipc[t] = plant.lastIpc();
+        energy[t] = plant.lastEnergyJoules();
+    }
+
+    SurrogateModel m;
+    m.appName = app.name;
+    m.epochSeconds = cfg.epochSeconds;
+    m.dynamics = identify(u, y, cfg.arxConfig());
+    m.fit = validateModel(m.dynamics, u, y);
+
+    // Residual noise per output, in the model's scaled coordinates:
+    // what the identified dynamics cannot explain becomes the
+    // surrogate's per-epoch output noise. The observer-form transient
+    // from the zero initial state is excluded.
+    const Matrix u_scaled = m.dynamics.inputScaling.toScaled(u);
+    const Matrix y_scaled = m.dynamics.outputScaling.toScaled(y);
+    const Matrix y_hat = m.dynamics.simulate(
+        u_scaled, Matrix(m.dynamics.stateDim(), 1));
+    const size_t skip = std::min<size_t>(epochs / 4, 100);
+    m.noiseSigma.assign(kNumPlantOutputs, 0.0);
+    for (size_t k = 0; k < kNumPlantOutputs; ++k) {
+        double mean = 0.0;
+        for (size_t t = skip; t < epochs; ++t)
+            mean += y_scaled(t, k) - y_hat(t, k);
+        mean /= static_cast<double>(epochs - skip);
+        double var = 0.0;
+        for (size_t t = skip; t < epochs; ++t) {
+            const double r = y_scaled(t, k) - y_hat(t, k) - mean;
+            var += r * r;
+        }
+        var /= static_cast<double>(epochs - skip - 1);
+        m.noiseSigma[k] = std::sqrt(std::max(var, 0.0));
+    }
+
+    // L2 MPKI: ridge-fit affine response to the physical knob vector.
+    Matrix phi(epochs, 1 + inputs);
+    Matrix rhs(epochs, 1);
+    for (size_t t = 0; t < epochs; ++t) {
+        phi(t, 0) = 1.0;
+        for (size_t i = 0; i < inputs; ++i)
+            phi(t, 1 + i) = u(t, i);
+        rhs(t, 0) = l2[t];
+    }
+    m.l2Coef = solveRidge(phi, rhs, 1e-8);
+
+    // IPC ~= alpha * IPS / freq and energy ~= beta * power: one-
+    // parameter least squares each (minimizing sum (aux - coef * x)^2).
+    double ipc_num = 0.0, ipc_den = 0.0;
+    double e_num = 0.0, e_den = 0.0;
+    double ips_mean = 0.0, power_mean = 0.0;
+    for (size_t t = 0; t < epochs; ++t) {
+        const double x = y(t, kOutputIps) / u(t, 0);
+        ipc_num += ipc[t] * x;
+        ipc_den += x * x;
+        const double p = y(t, kOutputPower);
+        e_num += energy[t] * p;
+        e_den += p * p;
+        ips_mean += y(t, kOutputIps);
+        power_mean += y(t, kOutputPower);
+    }
+    m.ipcPerIpsOverFreq = ipc_den > 0.0 ? ipc_num / ipc_den : 0.0;
+    m.energyPerPowerSecond = e_den > 0.0 ? e_num / e_den : 0.0;
+    ips_mean /= static_cast<double>(epochs);
+    power_mean /= static_cast<double>(epochs);
+    m.ipsFloor = 0.01 * std::max(ips_mean, 0.0);
+    m.powerFloor = 0.01 * std::max(power_mean, 0.0);
+    return m;
+}
+
+SurrogateDynamics::SurrogateDynamics(const SurrogateModel &model,
+                                     uint64_t seed)
+    : model_(&model), rng_(seed)
+{
+    model.dynamics.validate();
+    if (model.noiseSigma.size() != model.dynamics.numOutputs())
+        fatal("SurrogateDynamics: need one noise sigma per output");
+    const size_t n = model.dynamics.stateDim();
+    const size_t i = model.dynamics.numInputs();
+    const size_t o = model.dynamics.numOutputs();
+    x_ = Matrix(n, 1);
+    xNext_ = Matrix(n, 1);
+    tmpN_ = Matrix(n, 1);
+    uScaled_ = Matrix(i, 1);
+    yScaled_ = Matrix(o, 1);
+    tmpO_ = Matrix(o, 1);
+    yPhys_ = Matrix(o, 1);
+}
+
+void
+SurrogateDynamics::reset(uint64_t seed)
+{
+    rng_.reseed(seed);
+    x_.setZero();
+}
+
+const Matrix &
+SurrogateDynamics::step(const Matrix &u_physical)
+{
+    const StateSpaceModel &d = model_->dynamics;
+    d.inputScaling.toScaledInto(uScaled_, u_physical);
+
+    // y = C x + D u + v, v ~ N(0, diag(noiseSigma)^2).
+    Matrix::gemv(yScaled_, d.c, x_);
+    Matrix::gemv(tmpO_, d.d, uScaled_);
+    Matrix::addInto(yScaled_, yScaled_, tmpO_);
+    for (size_t k = 0; k < model_->noiseSigma.size(); ++k)
+        yScaled_[k] += model_->noiseSigma[k] * rng_.normal();
+
+    // x <- A x + B u.
+    Matrix::gemv(xNext_, d.a, x_);
+    Matrix::gemv(tmpN_, d.b, uScaled_);
+    Matrix::addInto(xNext_, xNext_, tmpN_);
+    std::swap(x_, xNext_);
+
+    d.outputScaling.toPhysicalInto(yPhys_, yScaled_);
+    if (yPhys_[kOutputIps] < model_->ipsFloor)
+        yPhys_[kOutputIps] = model_->ipsFloor;
+    if (yPhys_[kOutputPower] < model_->powerFloor)
+        yPhys_[kOutputPower] = model_->powerFloor;
+    return yPhys_;
+}
+
+SurrogatePlant::SurrogatePlant(
+    std::shared_ptr<const SurrogateModel> model,
+    const KnobSpace &knob_space, uint64_t seed_salt)
+    : model_(std::move(model)), knobs_(knob_space),
+      dyn_(*model_,
+           [&] {
+               Fnv64 h;
+               h.str("surrogate-plant").str(model_->appName)
+                   .u64(seed_salt);
+               return h.value();
+           }())
+{
+    if (knobs_.numInputs() != model_->dynamics.numInputs()) {
+        fatal("SurrogatePlant: knob space has ", knobs_.numInputs(),
+              " inputs but the surrogate was calibrated with ",
+              model_->dynamics.numInputs());
+    }
+    u_ = Matrix(knobs_.numInputs(), 1);
+}
+
+const Matrix &
+SurrogatePlant::step(const KnobSettings &settings)
+{
+    knobs_.toVectorInto(u_, settings);
+    current_ = settings;
+    const Matrix &y = dyn_.step(u_);
+
+    // Auxiliary sensors from the calibrated per-app fits.
+    double l2 = model_->l2Coef[0];
+    for (size_t i = 0; i < knobs_.numInputs(); ++i)
+        l2 += model_->l2Coef[1 + i] * u_[i];
+    lastL2Mpki_ = std::max(l2, 0.0);
+    lastIpc_ = model_->ipcPerIpsOverFreq * y[kOutputIps] / u_[0];
+    lastEnergyJ_ = model_->energyPerPowerSecond * y[kOutputPower];
+
+    // Cumulative accounting: an epoch is epochSeconds of wall time at
+    // IPS billions-of-instructions per second.
+    totalEnergyJ_ += lastEnergyJ_;
+    elapsedS_ += model_->epochSeconds;
+    totalInstrB_ += y[kOutputIps] * model_->epochSeconds;
+    return y;
+}
+
+void
+SurrogatePlant::warmup(size_t epochs)
+{
+    for (size_t i = 0; i < epochs; ++i)
+        step(current_);
+}
+
+} // namespace mimoarch

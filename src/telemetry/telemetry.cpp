@@ -71,22 +71,27 @@ HistogramSnapshot
 Histogram::snapshot() const
 {
     HistogramSnapshot s;
-    s.count = count_.load(std::memory_order_relaxed);
-    s.sum = sum_.load(std::memory_order_relaxed);
+    for (const Shard &shard : shards_) {
+        s.count += shard.count.load(std::memory_order_relaxed);
+        s.sum += shard.sum.load(std::memory_order_relaxed);
+        for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i)
+            s.buckets[i] +=
+                shard.buckets[i].load(std::memory_order_relaxed);
+    }
     s.min = min_.load(std::memory_order_relaxed);
     s.max = max_.load(std::memory_order_relaxed);
-    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i)
-        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     return s;
 }
 
 void
 Histogram::reset()
 {
-    for (auto &b : buckets_)
-        b.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
+    for (Shard &shard : shards_) {
+        for (auto &b : shard.buckets)
+            b.store(0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0, std::memory_order_relaxed);
+    }
     min_.store(UINT64_MAX, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
 }

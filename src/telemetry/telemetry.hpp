@@ -50,21 +50,50 @@ uint32_t threadId();
 
 // ----------------------------------------------------------- metrics
 
-/** Monotonic event count. Lock-free, write-contended freely. */
+/**
+ * Write-path shard count for the hot metrics. Writers hash their dense
+ * threadId() into one of kMetricShards cache-line-isolated slots, so
+ * sweep workers hammering the same counter or histogram never ping the
+ * same line back and forth; readers sum the slots, which is exact
+ * (addition commutes) and only runs at snapshot/export time. A power
+ * of two so the slot pick is a mask, not a division.
+ */
+constexpr size_t kMetricShards = 8;
+
+/** Monotonic event count. Lock-free, write-contended freely: each
+ *  thread lands on its own padded slot (see kMetricShards). */
 class Counter
 {
   public:
     void
     add(uint64_t n = 1)
     {
-        v_.fetch_add(n, std::memory_order_relaxed);
+        slots_[threadId() & (kMetricShards - 1)].v.fetch_add(
+            n, std::memory_order_relaxed);
     }
 
-    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
-    void reset() { v_.store(0, std::memory_order_relaxed); }
+    uint64_t
+    value() const
+    {
+        uint64_t total = 0;
+        for (const Slot &s : slots_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void
+    reset()
+    {
+        for (Slot &s : slots_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
 
   private:
-    std::atomic<uint64_t> v_{0};
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> v{0};
+    };
+    Slot slots_[kMetricShards];
 };
 
 /** Last-write-wins double value (worker count, RSS, utilization). */
@@ -140,7 +169,12 @@ struct HistogramSnapshot
 /**
  * Fixed-bucket log-scale histogram of non-negative integer samples
  * (latencies in ns, error magnitudes in basis points, queue depths).
- * record() is a few relaxed atomics — no locks, no allocation.
+ * record() is a few relaxed atomics on the caller's own shard (see
+ * kMetricShards) — no locks, no allocation, no cross-thread line
+ * sharing. min/max stay global CAS slots: after the first few samples
+ * they only write on a new extreme, so they see almost no traffic.
+ * snapshot() sums the shards, which is exact bucket-wise addition —
+ * identical output to the old single-shard layout.
  */
 class Histogram
 {
@@ -148,10 +182,11 @@ class Histogram
     void
     record(uint64_t v)
     {
-        buckets_[HistogramSnapshot::bucketOf(v)].fetch_add(
+        Shard &s = shards_[threadId() & (kMetricShards - 1)];
+        s.buckets[HistogramSnapshot::bucketOf(v)].fetch_add(
             1, std::memory_order_relaxed);
-        count_.fetch_add(1, std::memory_order_relaxed);
-        sum_.fetch_add(v, std::memory_order_relaxed);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
         atomicMin(min_, v);
         atomicMax(max_, v);
     }
@@ -160,6 +195,13 @@ class Histogram
     void reset();
 
   private:
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sum{0};
+        std::atomic<uint64_t> buckets[HistogramSnapshot::kBuckets] = {};
+    };
+
     static void
     atomicMin(std::atomic<uint64_t> &slot, uint64_t v)
     {
@@ -180,10 +222,8 @@ class Histogram
         }
     }
 
-    std::atomic<uint64_t> buckets_[HistogramSnapshot::kBuckets] = {};
-    std::atomic<uint64_t> count_{0};
-    std::atomic<uint64_t> sum_{0};
-    std::atomic<uint64_t> min_{UINT64_MAX};
+    Shard shards_[kMetricShards];
+    alignas(64) std::atomic<uint64_t> min_{UINT64_MAX};
     std::atomic<uint64_t> max_{0};
 };
 

@@ -16,8 +16,12 @@
 #include <cstring>
 #include <vector>
 
+#include "core/experiment_config.hpp"
+#include "core/knobs.hpp"
 #include "exec/fleet.hpp"
 #include "exec/sweep.hpp"
+#include "plant/surrogate.hpp"
+#include "workload/spec_suite.hpp"
 
 namespace mimoarch::exec {
 namespace {
@@ -135,6 +139,77 @@ TEST(FleetJob, RepeatedSweepIsBitIdentical)
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i)
         EXPECT_EQ(bitsOf(a[i].checksum), bitsOf(b[i].checksum));
+}
+
+/** One calibrated surrogate, shared by the analytic-lane tests. */
+const SurrogateModel &
+fleetSurrogate()
+{
+    static const SurrogateModel m = [] {
+        ExperimentConfig cfg;
+        cfg.sysidEpochsPerApp = 300;
+        cfg.validationEpochsPerApp = 150;
+        return calibrateSurrogate(Spec2006Suite::byName("namd"),
+                                  KnobSpace(false), cfg);
+    }();
+    return m;
+}
+
+FleetResult
+runAnalyticJob(const SurrogateModel &m, size_t lanes, size_t steps,
+               size_t rep)
+{
+    static const LqgWeights weights = fleetWeights();
+    static const InputLimits limits = fleetLimits();
+    FleetJobConfig cfg;
+    cfg.model = &m.dynamics;
+    cfg.weights = &weights;
+    cfg.limits = &limits;
+    cfg.lanes = lanes;
+    cfg.steps = steps;
+    cfg.fidelity = PlantFidelity::Analytic;
+    cfg.surrogate = &m;
+    CancellationToken cancel;
+    const JobKey key{"fleet-analytic", "bank", 0, rep};
+    const JobContext ctx{key, 0, 1, cancel};
+    return runFleetJob(cfg, ctx);
+}
+
+TEST(FleetJob, AnalyticLanesAreDeterministicAndTagged)
+{
+    const SurrogateModel &m = fleetSurrogate();
+    const FleetResult a = runAnalyticJob(m, 64, 50, 0);
+    const FleetResult b = runAnalyticJob(m, 64, 50, 0);
+    EXPECT_EQ(a.fidelity,
+              static_cast<uint64_t>(PlantFidelity::Analytic));
+    EXPECT_EQ(a.lanes, 64u);
+    EXPECT_EQ(a.steps, 50u);
+    EXPECT_TRUE(std::isfinite(a.checksum));
+    EXPECT_EQ(bitsOf(a.checksum), bitsOf(b.checksum))
+        << "same job seed must replay bit-identical analytic lanes";
+
+    // A different rep reseeds every lane's noise stream.
+    const FleetResult c = runAnalyticJob(m, 64, 50, 1);
+    EXPECT_NE(bitsOf(a.checksum), bitsOf(c.checksum));
+
+    // And the analytic tier must not silently compute the cycle-level
+    // first-order-lag trajectory (the identified dynamics + noise are
+    // actually in the loop).
+    static const LqgWeights weights = fleetWeights();
+    static const InputLimits limits = fleetLimits();
+    FleetJobConfig cyc;
+    cyc.model = &m.dynamics;
+    cyc.weights = &weights;
+    cyc.limits = &limits;
+    cyc.lanes = 64;
+    cyc.steps = 50;
+    CancellationToken cancel;
+    const JobKey key{"fleet-analytic", "bank", 0, 0};
+    const JobContext ctx{key, 0, 1, cancel};
+    const FleetResult d = runFleetJob(cyc, ctx);
+    EXPECT_EQ(d.fidelity,
+              static_cast<uint64_t>(PlantFidelity::CycleLevel));
+    EXPECT_NE(bitsOf(a.checksum), bitsOf(d.checksum));
 }
 
 TEST(FleetJob, CancellationInterruptsAFleet)

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cross-fidelity validation (DESIGN.md §13): closed-loop runs of the
+ * analytic tier must stay inside the documented error envelope of the
+ * cycle-level tier they were calibrated on. The gates mirror
+ * bench/fig_fidelity at test scale: per-app open-loop fit error, mean
+ * IPS/power deltas under the same MIMO controller, and E x D *ranking*
+ * concordance across apps (the surrogate is a ranking model, not a
+ * bit-accurate twin — absolute E x D deltas are allowed to be large as
+ * long as it orders design points the way the simulator does).
+ *
+ * Tolerances here are looser than the bench's because the test runs a
+ * reduced identification budget (300 sysid epochs vs the bench's 800).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/controllers.hpp"
+#include "core/design_flow.hpp"
+#include "core/harness.hpp"
+#include "exec/design_cache.hpp"
+#include "exec/plant_factory.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace mimoarch {
+namespace {
+
+constexpr double kOpenLoopMeanTol = 0.45;
+constexpr double kClosedLoopTol = 0.40;
+constexpr double kRankTieBand = 0.20;
+
+const std::vector<std::string> kApps = {"sjeng", "leslie3d", "namd"};
+
+ExperimentConfig
+baseConfig()
+{
+    ExperimentConfig cfg;
+    cfg.sysidEpochsPerApp = 300;
+    cfg.validationEpochsPerApp = 150;
+    return cfg;
+}
+
+struct TierOut
+{
+    double meanIps = 0.0;
+    double meanPower = 0.0;
+    double exd = 0.0;
+};
+
+TierOut
+runTier(const std::string &app_name, PlantFidelity fidelity)
+{
+    ExperimentConfig cfg = baseConfig();
+    cfg.fidelity = fidelity;
+    const KnobSpace knobs(false);
+    const auto design =
+        exec::DesignCache::instance().design(knobs, baseConfig());
+    const MimoControllerDesign flow(knobs, cfg);
+    auto ctrl = flow.buildController(*design);
+    auto plant =
+        exec::makePlant(Spec2006Suite::byName(app_name), knobs, cfg);
+    DriverConfig dcfg;
+    dcfg.epochs = 1200;
+    dcfg.errorSkipEpochs = 100;
+    dcfg.fidelity = fidelity;
+    EpochDriver driver(*plant, *ctrl, dcfg);
+    KnobSettings init;
+    init.freqLevel = 3;
+    init.cacheSetting = 1;
+    const RunSummary s = driver.run(init);
+    TierOut out;
+    out.meanIps = s.totalTimeS > 0.0 ? s.totalInstrB / s.totalTimeS : 0.0;
+    out.meanPower =
+        s.totalTimeS > 0.0 ? s.totalEnergyJ / s.totalTimeS : 0.0;
+    out.exd = s.exdMetric(2);
+    return out;
+}
+
+double
+relDelta(double a, double b)
+{
+    return b != 0.0 ? std::abs(a - b) / std::abs(b) : 0.0;
+}
+
+struct AppPair
+{
+    std::string app;
+    TierOut cycle, analytic;
+};
+
+const std::vector<AppPair> &
+tierRuns()
+{
+    static const std::vector<AppPair> runs = [] {
+        std::vector<AppPair> out;
+        for (const std::string &app : kApps) {
+            AppPair p;
+            p.app = app;
+            p.cycle = runTier(app, PlantFidelity::CycleLevel);
+            p.analytic = runTier(app, PlantFidelity::Analytic);
+            out.push_back(p);
+        }
+        return out;
+    }();
+    return runs;
+}
+
+TEST(CrossFidelity, OpenLoopFitStaysInsideTheDocumentedEnvelope)
+{
+    ExperimentConfig acfg = baseConfig();
+    acfg.fidelity = PlantFidelity::Analytic;
+    const KnobSpace knobs(false);
+    for (const std::string &app : kApps) {
+        const auto model = exec::DesignCache::instance().surrogate(
+            Spec2006Suite::byName(app), knobs, acfg);
+        EXPECT_LE(model->fit.worstMean(), kOpenLoopMeanTol)
+            << app << ": surrogate open-loop fit out of envelope";
+    }
+}
+
+TEST(CrossFidelity, ClosedLoopMeansTrackTheCycleLevelTier)
+{
+    for (const AppPair &p : tierRuns()) {
+        EXPECT_GT(p.analytic.meanIps, 0.0) << p.app;
+        EXPECT_GT(p.analytic.meanPower, 0.0) << p.app;
+        EXPECT_LE(relDelta(p.analytic.meanIps, p.cycle.meanIps),
+                  kClosedLoopTol)
+            << p.app << ": mean IPS diverged (cycle "
+            << p.cycle.meanIps << ", analytic " << p.analytic.meanIps
+            << ")";
+        EXPECT_LE(relDelta(p.analytic.meanPower, p.cycle.meanPower),
+                  kClosedLoopTol)
+            << p.app << ": mean power diverged (cycle "
+            << p.cycle.meanPower << ", analytic "
+            << p.analytic.meanPower << ")";
+    }
+}
+
+TEST(CrossFidelity, ExdRankingIsConcordantOutsideNearTies)
+{
+    const auto &runs = tierRuns();
+    for (size_t i = 0; i < runs.size(); ++i) {
+        for (size_t j = i + 1; j < runs.size(); ++j) {
+            const double c = runs[i].cycle.exd - runs[j].cycle.exd;
+            const double a =
+                runs[i].analytic.exd - runs[j].analytic.exd;
+            if (c * a >= 0.0)
+                continue; // Concordant or tied.
+            EXPECT_LE(relDelta(runs[i].cycle.exd, runs[j].cycle.exd),
+                      kRankTieBand)
+                << "tiers order " << runs[i].app << " vs "
+                << runs[j].app
+                << " differently on a pair that is not a near-tie";
+        }
+    }
+}
+
+} // namespace
+} // namespace mimoarch
