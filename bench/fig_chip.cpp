@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Chip-scale report (DESIGN.md §14): N-core chips under the budget
+ * arbiter as the shared power envelope shrinks.
+ *
+ * For N in {2, 4, 8} cores (apps cycled from the paper's figure
+ * order) and envelope factors {1.0, 0.75, 0.5} x N x P0 it reports
+ * the chip-wide E x D metric, the worst per-core tracking errors, and
+ * the arbiter's activity (rounds, re-targets, way moves).
+ *
+ * Exit status is the verdict (the chip-tier gate): 0 when, at the
+ * ample (1.0x) envelope, every core's mean IPS tracking error is
+ * within 2x its single-core baseline plus slack — i.e. putting a core
+ * on a shared, arbitrated chip does not meaningfully degrade its
+ * loop. 1 otherwise. Writes BENCH_chip.json.
+ *
+ *   ./bench/fig_chip --jobs 4
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/chip_job.hpp"
+
+using namespace mimoarch;
+using namespace mimoarch::bench;
+
+namespace {
+
+/** Gate: a chip core's IPS error may be at most 2x its single-core
+ *  baseline plus this absolute slack (percentage points). */
+constexpr double kErrRatioTol = 2.0;
+constexpr double kErrSlackPp = 0.5;
+
+const unsigned kCoreCounts[] = {2, 4, 8};
+const double kEnvelopeFactors[] = {1.0, 0.75, 0.5};
+constexpr size_t kEpochs = 600;
+constexpr size_t kErrSkip = 200;
+
+struct BaselineOut
+{
+    double ipsErrPct = 0.0;
+    double powerErrPct = 0.0;
+    double exd = 0.0;
+};
+
+struct ChipRow
+{
+    unsigned nCores = 0;
+    double factor = 0.0;
+    exec::ChipResult result{};
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    exec::SweepOptions sweep_opt = benchSweepOptions(argc, argv);
+    banner("Chip tier: N-core chips under a shrinking power envelope");
+
+    const ExperimentConfig base_cfg = benchConfig(sweep_opt);
+    const KnobSpace knobs(false);
+    const auto design = cachedDesign(false);
+    const std::vector<std::string> app_order = figureAppOrder();
+    const size_t max_cores = 8;
+    std::vector<std::string> apps(app_order.begin(),
+                                  app_order.begin() + max_cores);
+    if (base_cfg.fidelity == PlantFidelity::Analytic)
+        for (const std::string &app : apps)
+            (void)exec::DesignCache::instance().surrogate(
+                Spec2006Suite::byName(app), knobs, base_cfg);
+
+    exec::SweepRunner runner(sweep_opt);
+
+    // ---- Single-core baselines: each app alone, full power ----
+    std::vector<exec::JobKey> base_keys;
+    for (const std::string &app : apps)
+        base_keys.push_back({app, "chip-baseline", 0, 0});
+    Fnv64 base_fp;
+    base_fp.str("fig-chip-baseline").u64(base_cfg.fingerprint());
+    const std::vector<BaselineOut> baselines =
+        runner
+            .mapJobs<BaselineOut>(base_keys, base_fp.value(),
+                                  [&](const exec::JobContext &ctx) {
+        const KnobSpace job_knobs(false);
+        const MimoControllerDesign flow(job_knobs, base_cfg);
+        auto mimo = flow.buildController(*design);
+        mimo->setReference(base_cfg.ipsReference,
+                           base_cfg.powerReference);
+        auto plant = exec::makePlant(Spec2006Suite::byName(ctx.key.app),
+                                     job_knobs, base_cfg);
+        DriverConfig dcfg;
+        dcfg.epochs = kEpochs;
+        dcfg.errorSkipEpochs = kErrSkip;
+        dcfg.fidelity = base_cfg.fidelity;
+        dcfg.cancel = &ctx.cancel;
+        EpochDriver driver(*plant, *mimo, dcfg);
+        const RunSummary s = driver.run(offTargetStart());
+        return BaselineOut{s.avgIpsErrorPct, s.avgPowerErrorPct,
+                           s.exdMetric(2)};
+    })
+            .results;
+
+    // ---- Chip sweeps: one job per (N, envelope factor) ----
+    std::vector<ChipRow> rows;
+    std::vector<exec::JobKey> chip_keys;
+    for (const unsigned n : kCoreCounts) {
+        for (const double factor : kEnvelopeFactors) {
+            ChipRow row;
+            row.nCores = n;
+            row.factor = factor;
+            rows.push_back(row);
+            chip_keys.push_back(
+                {"chip" + std::to_string(n), "Chip",
+                 static_cast<unsigned>(chip_keys.size()), 0});
+        }
+    }
+    Fnv64 chip_fp;
+    chip_fp.str("fig-chip").u64(base_cfg.fingerprint());
+    const std::vector<exec::ChipResult> outs =
+        runner
+            .mapJobs<exec::ChipResult>(chip_keys, chip_fp.value(),
+                                       [&](const exec::JobContext &ctx) {
+        const ChipRow &row = rows[ctx.key.config];
+        ExperimentConfig cfg = base_cfg;
+        cfg.chip.nCores = row.nCores;
+        cfg.chip.l2Ways = 8;
+        cfg.chip.arbiterEnabled = true;
+        cfg.chip.arbiterPeriodEpochs = 200;
+        cfg.chip.powerEnvelopeW = row.factor *
+            static_cast<double>(row.nCores) * cfg.powerReference;
+        exec::ChipJobConfig job;
+        job.cfg = &cfg;
+        job.design = design;
+        job.apps = std::vector<std::string>(
+            apps.begin(), apps.begin() + row.nCores);
+        job.epochs = kEpochs;
+        job.errorSkipEpochs = kErrSkip;
+        job.initial = offTargetStart();
+        return exec::runChipJob(job, ctx);
+    })
+            .results;
+    for (size_t i = 0; i < rows.size(); ++i)
+        rows[i].result = outs[i];
+
+    // ---- Report + gate ----
+    bool pass = true;
+    std::printf("%-6s %8s %10s %12s %10s %10s %9s\n", "cores",
+                "env", "chip-ExD", "worstIPSerr", "retargets",
+                "waymoves", "gate");
+    for (const ChipRow &row : rows) {
+        const exec::ChipResult &r = row.result;
+        double worst_err = 0.0;
+        bool row_ok = true;
+        for (size_t c = 0; c < r.nCores; ++c) {
+            worst_err = std::max(worst_err, r.ipsErrPct[c]);
+            // The gate only binds at the ample envelope: a shrunk
+            // envelope *should* move cores off their nominal targets.
+            if (row.factor == 1.0 &&
+                r.ipsErrPct[c] >
+                    kErrRatioTol * baselines[c].ipsErrPct + kErrSlackPp)
+                row_ok = false;
+        }
+        if (!row_ok)
+            pass = false;
+        std::printf("%-6u %7.2fx %10.3g %11.2f%% %10lu %10lu %9s\n",
+                    row.nCores, row.factor, r.exd, worst_err,
+                    static_cast<unsigned long>(r.retargets),
+                    static_cast<unsigned long>(r.wayMoves),
+                    row.factor != 1.0 ? "-"
+                                      : (row_ok ? "ok" : "FAIL"));
+    }
+
+    std::FILE *f = std::fopen("BENCH_chip.json", "w");
+    if (!f)
+        fatal("cannot write BENCH_chip.json");
+    std::fprintf(f, "{\n  \"schema\": 1,\n");
+    std::fprintf(f, "  \"err_ratio_tol\": %.2f,\n", kErrRatioTol);
+    std::fprintf(f, "  \"err_slack_pp\": %.2f,\n", kErrSlackPp);
+    std::fprintf(f, "  \"baselines\": [\n");
+    for (size_t i = 0; i < apps.size(); ++i)
+        std::fprintf(f,
+                     "    {\"app\": \"%s\", \"ips_err_pct\": %.4f, "
+                     "\"power_err_pct\": %.4f, \"exd\": %.17g}%s\n",
+                     apps[i].c_str(), baselines[i].ipsErrPct,
+                     baselines[i].powerErrPct, baselines[i].exd,
+                     i + 1 < apps.size() ? "," : "");
+    std::fprintf(f, "  ],\n  \"chips\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const ChipRow &row = rows[i];
+        const exec::ChipResult &r = row.result;
+        std::fprintf(f,
+                     "    {\"cores\": %u, \"envelope_factor\": %.2f, "
+                     "\"exd\": %.17g, \"arbiter_rounds\": %lu, "
+                     "\"retargets\": %lu, \"way_moves\": %lu, "
+                     "\"ips_err_pct\": [",
+                     row.nCores, row.factor, r.exd,
+                     static_cast<unsigned long>(r.arbiterRounds),
+                     static_cast<unsigned long>(r.retargets),
+                     static_cast<unsigned long>(r.wayMoves));
+        for (size_t c = 0; c < r.nCores; ++c)
+            std::fprintf(f, "%.4f%s", r.ipsErrPct[c],
+                         c + 1 < r.nCores ? ", " : "");
+        std::fprintf(f, "]}%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"pass\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_chip.json\n");
+    std::printf("verdict: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

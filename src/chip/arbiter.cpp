@@ -1,0 +1,209 @@
+#include "chip/arbiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mimoarch::chip {
+
+namespace {
+
+/** Non-finite or negative sensor readings score as zero demand. */
+double
+sane(double v)
+{
+    return std::isfinite(v) && v > 0.0 ? v : 0.0;
+}
+
+/**
+ * Apportion @p total ways over @p weights: one way per core first
+ * (every core must be able to run), then the rest by largest
+ * remainder of the weight-proportional quota. Ties break toward the
+ * lower core index, so the result is a pure function of the weight
+ * vector — no iteration-order or floating-point-reduction ambiguity
+ * beyond the fixed index-order sums used here.
+ */
+std::vector<uint32_t>
+apportion(const std::vector<double> &weights, uint32_t total)
+{
+    const size_t n = weights.size();
+    std::vector<uint32_t> ways(n, 1);
+    uint32_t free_ways = total - static_cast<uint32_t>(n);
+    if (free_ways == 0)
+        return ways;
+
+    double sum = 0.0;
+    for (double w : weights)
+        sum += sane(w);
+
+    std::vector<double> remainder(n, 0.0);
+    uint32_t granted = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const double quota = sum > 0.0
+            ? sane(weights[i]) / sum * static_cast<double>(free_ways)
+            : static_cast<double>(free_ways) / static_cast<double>(n);
+        const double fl = std::floor(quota);
+        // Clamp against accumulated FP error in the quota sum: whole
+        // grants must never exceed the free pool.
+        const uint32_t whole = std::min(
+            static_cast<uint32_t>(fl), free_ways - granted);
+        ways[i] += whole;
+        granted += whole;
+        remainder[i] = quota - fl;
+    }
+
+    // Hand out the leftover ways to the largest remainders, lower
+    // index first on ties.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&remainder](size_t a, size_t b) {
+                         return remainder[a] > remainder[b];
+                     });
+    for (size_t k = 0; granted < free_ways; ++k) {
+        ways[order[k % n]] += 1;
+        ++granted;
+    }
+    return ways;
+}
+
+} // namespace
+
+BudgetArbiter::BudgetArbiter(const ArbiterConfig &config) : config_(config)
+{
+    if (config_.l2Ways == 0 || config_.l2Ways > 31)
+        fatal("BudgetArbiter: l2Ways ", config_.l2Ways,
+              " outside [1, 31]");
+    if (config_.metricExponent == 0)
+        fatal("BudgetArbiter: metricExponent must be >= 1");
+}
+
+std::vector<CoreAllocation>
+BudgetArbiter::allocate(const std::vector<CoreDemand> &demands) const
+{
+    const size_t n = demands.size();
+    if (n == 0 || n > config_.l2Ways)
+        fatal("BudgetArbiter: ", n, " cores cannot partition ",
+              config_.l2Ways, " L2 ways (need 1..l2Ways cores)");
+
+    // ---- L2 way partition ----
+    //
+    // Three candidate partitions, scored chip-wide with the
+    // optimizer's IPS^k / P metric under a log-ways cache-sensitivity
+    // model; the incumbent is listed first and only a *strictly*
+    // better candidate replaces it (hysteresis — re-partitioning
+    // flushes lines, so equal scores keep the current split).
+    std::vector<std::vector<uint32_t>> candidates;
+
+    uint32_t current_sum = 0;
+    bool current_valid = true;
+    std::vector<uint32_t> current(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        current[i] = demands[i].ways;
+        current_sum += demands[i].ways;
+        if (demands[i].ways == 0)
+            current_valid = false;
+    }
+    if (current_valid && current_sum == config_.l2Ways)
+        candidates.push_back(current);
+    else
+        candidates.push_back(
+            apportion(std::vector<double>(n, 1.0), config_.l2Ways));
+
+    std::vector<double> mpki_weight(n);
+    for (size_t i = 0; i < n; ++i)
+        mpki_weight[i] = 1.0 + sane(demands[i].l2Mpki);
+    candidates.push_back(apportion(mpki_weight, config_.l2Ways));
+    candidates.push_back(
+        apportion(std::vector<double>(n, 1.0), config_.l2Ways));
+
+    size_t best = 0;
+    double best_score = -1.0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+        // Predicted chip IPS: each core's measured IPS scaled by
+        // (new/current ways)^s with s in [0, 1) rising with the
+        // core's memory-boundedness — cache-insensitive cores are
+        // immune to the partition, streaming cores roughly sqrt.
+        double chip_ips = 0.0;
+        double chip_power = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double ips = sane(demands[i].ips);
+            const double mpki = sane(demands[i].l2Mpki);
+            const double s = mpki / (mpki + config_.mpkiHalfPoint);
+            const uint32_t cur = std::max(current[i], uint32_t{1});
+            const double ratio = static_cast<double>(candidates[c][i]) /
+                static_cast<double>(cur);
+            chip_ips += ips * std::pow(ratio, s);
+            chip_power += sane(demands[i].power);
+        }
+        double score = chip_ips;
+        for (unsigned k = 1; k < config_.metricExponent; ++k)
+            score *= chip_ips;
+        score /= std::max(chip_power, 1e-9);
+        if (score > best_score) {
+            best_score = score;
+            best = c;
+        }
+    }
+    const std::vector<uint32_t> &ways = candidates[best];
+
+    // Concrete masks: contiguous way ranges in core-index order (core
+    // 0 owns the lowest ways). Disjoint + covering by construction.
+    std::vector<CoreAllocation> out(n);
+    uint32_t offset = 0;
+    for (size_t i = 0; i < n; ++i) {
+        out[i].ways = ways[i];
+        out[i].wayMask = ((uint32_t{1} << ways[i]) - 1) << offset;
+        offset += ways[i];
+    }
+
+    // ---- Power envelope split ----
+    //
+    // Pinned cores first: a SafePinned core cannot respond to a new
+    // target, so its *measured* draw is reserved off the top (index
+    // order, clamped to what remains). Active cores then share the
+    // remaining envelope in proportion to their nominal references —
+    // scaled down when the envelope is short, never up (the nominal
+    // reference is the per-core operating point; an over-provisioned
+    // envelope is headroom, not a mandate to overshoot).
+    const double envelope = config_.powerEnvelopeW;
+    if (envelope > 0.0) {
+        double reserved = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!demands[i].pinned)
+                continue;
+            const double draw = std::min(sane(demands[i].power),
+                                         std::max(envelope - reserved, 0.0));
+            reserved += draw;
+            out[i].powerTarget = draw;
+            out[i].ipsTarget = sane(demands[i].refIps);
+            out[i].retarget = false;
+        }
+        const double avail = std::max(envelope - reserved, 0.0);
+        double want = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            if (!demands[i].pinned)
+                want += sane(demands[i].refPower);
+        const double scale = want > 0.0 ? std::min(1.0, avail / want) : 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (demands[i].pinned)
+                continue;
+            out[i].powerTarget = sane(demands[i].refPower) * scale;
+            // IPS scales sub-linearly with the power budget (DVFS:
+            // P ~ f·V² while IPS ~ f), so re-target at sqrt(scale).
+            out[i].ipsTarget = sane(demands[i].refIps) * std::sqrt(scale);
+            out[i].retarget = true;
+        }
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            out[i].powerTarget = sane(demands[i].refPower);
+            out[i].ipsTarget = sane(demands[i].refIps);
+            out[i].retarget = !demands[i].pinned;
+        }
+    }
+    return out;
+}
+
+} // namespace mimoarch::chip

@@ -66,6 +66,26 @@ struct FaultScheduleConfig
     size_t cacheStuckEpochs = 40;       //!< Way-gating freeze length.
 };
 
+/**
+ * Multi-core chip topology for chip-level experiments (DESIGN.md §14).
+ * Plain data: ChipInstance (src/chip) consumes it; single-core
+ * experiments leave it at the defaults (1 core, arbiter off), which is
+ * fingerprint-stable but semantically identical to no chip at all.
+ */
+struct ChipConfig
+{
+    unsigned nCores = 1;
+    /** Shared-L2 ways partitioned across cores (the L2 geometry). */
+    unsigned l2Ways = 8;
+    /** Chip power envelope in W; <= 0 means nCores * powerReference. */
+    double powerEnvelopeW = 0.0;
+    /** Arbiter cadence in epochs (the slow outer loop). */
+    uint64_t arbiterPeriodEpochs = 200;
+    bool arbiterEnabled = false;
+    /** k in the chip-wide IPS^k / P score (k=2 -> E x D). */
+    unsigned metricExponent = 2;
+};
+
 /** Table III parameters. */
 struct ExperimentConfig
 {
@@ -118,6 +138,9 @@ struct ExperimentConfig
      * tier they are later run at.
      */
     PlantFidelity fidelity = PlantFidelity::CycleLevel;
+
+    /** Chip topology for multi-core experiments (defaults = no chip). */
+    ChipConfig chip{};
 
     /** LQG weights for a 2- or 3-input design, y = [IPS, power]. */
     LqgWeights
@@ -172,6 +195,9 @@ struct ExperimentConfig
             .f64(f.weightStuckCache);
         h.u64(f.lagEpochs).u64(f.cacheStuckEpochs);
         h.u64(static_cast<uint64_t>(fidelity));
+        h.u64(chip.nCores).u64(chip.l2Ways).f64(chip.powerEnvelopeW);
+        h.u64(chip.arbiterPeriodEpochs).u64(chip.arbiterEnabled ? 1 : 0);
+        h.u64(chip.metricExponent);
         return h.value();
     }
 
@@ -188,6 +214,10 @@ struct ExperimentConfig
     {
         ExperimentConfig c = *this;
         c.fidelity = PlantFidelity::CycleLevel;
+        // Chip topology shapes runs, not the per-core design flow:
+        // chips of any shape share design products with their
+        // single-core twin.
+        c.chip = ChipConfig{};
         return c.fingerprint();
     }
 };

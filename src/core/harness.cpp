@@ -120,8 +120,8 @@ EpochDriver::steadyEpoch(const std::vector<unsigned> &values,
     return steady;
 }
 
-RunSummary
-EpochDriver::run(const KnobSettings &initial)
+void
+EpochDriver::begin(const KnobSettings &initial)
 {
     trace_ = EpochTrace{};
     // One up-front reservation per trace series keeps the epoch loop
@@ -139,154 +139,178 @@ EpochDriver::run(const KnobSettings &initial)
     trace_.tier.reserve(config_.epochs);
     controller_.initialize(initial);
 
-    telemetry::Span run_span("run", "loop", nullptr, "epochs",
-                             static_cast<int64_t>(config_.epochs));
+    runSpan_.emplace("run", "loop", nullptr, "epochs",
+                     static_cast<int64_t>(config_.epochs));
 
     // Warmup (the paper's fast-forward) at the initial settings.
-    KnobSettings settings = initial;
+    settings_ = initial;
     {
         telemetry::Span warmup_span("warmup", "loop");
         for (size_t i = 0; i < config_.warmupEpochs; ++i)
-            plant_.step(settings);
+            plant_.step(settings_);
     }
 
-    const double energy0 = plant_.totalEnergyJoules();
-    const double time0 = plant_.elapsedSeconds();
-    const double instr0 = plant_.totalInstructionsB();
+    energy0_ = plant_.totalEnergyJoules();
+    time0_ = plant_.elapsedSeconds();
+    instr0_ = plant_.totalInstructionsB();
 
-    std::unique_ptr<Optimizer> opt;
+    opt_.reset();
     if (config_.useOptimizer)
-        opt = std::make_unique<Optimizer>(controller_, config_.optimizer);
-    PhaseDetector phases(config_.phaseDetector);
+        opt_ = std::make_unique<Optimizer>(controller_, config_.optimizer);
+    phases_.emplace(config_.phaseDetector);
 
-    double err_ips = 0.0, err_power = 0.0;
-    size_t err_samples = 0;
+    errIps_ = 0.0;
+    errPower_ = 0.0;
+    errSamples_ = 0;
+    nonfiniteSkips_ = 0;
+    epoch_ = 0;
+    lastTrueIps_ = 0.0;
+    lastTruePower_ = 0.0;
+}
 
-    unsigned long nonfinite_skips = 0;
+void
+EpochDriver::stepEpoch()
+{
+    const size_t t = epoch_;
+    // Cooperative cancellation (sweep watchdog / fail-fast abort):
+    // one relaxed load per epoch, numerically invisible to runs
+    // that are never canceled.
+    if (config_.cancel && config_.cancel->canceled()) {
+        throw CanceledError("EpochDriver: canceled at epoch " +
+                            std::to_string(t) + "/" +
+                            std::to_string(config_.epochs));
+    }
+    telemetry::Span epoch_span("epoch", "loop", tmEpochNs_, "epoch",
+                               static_cast<int64_t>(t));
+    tmEpochs_->add(1);
 
-    // Hoisted out of the loop so its y buffer is reused every epoch.
-    Observation obs;
+    const Matrix &y = plant_.step(settings_);
 
-    for (size_t t = 0; t < config_.epochs; ++t) {
-        // Cooperative cancellation (sweep watchdog / fail-fast abort):
-        // one relaxed load per epoch, numerically invisible to runs
-        // that are never canceled.
-        if (config_.cancel && config_.cancel->canceled()) {
-            throw CanceledError("EpochDriver: canceled at epoch " +
-                                std::to_string(t) + "/" +
-                                std::to_string(config_.epochs));
+    // What the hardware actually did: equals y unless a
+    // fault-injecting plant corrupted the sensor path.
+    const Matrix &true_out = plant_.lastTrueOutputs();
+    const Matrix &y_true = true_out.empty() ? y : true_out;
+
+    // Harden the loop against corrupt sensor epochs: a non-finite
+    // IPS or power sample is counted and skipped — the settings are
+    // held — instead of being propagated into the estimator.
+    const bool y_finite = std::isfinite(y[kOutputIps]) &&
+        std::isfinite(y[kOutputPower]);
+    if (!y_finite) {
+        if (nonfiniteSkips_ == 0) {
+            warn("EpochDriver: non-finite sensor reading at epoch ",
+                 t, "; holding settings (further skips counted "
+                 "silently)");
         }
-        telemetry::Span epoch_span("epoch", "loop", tmEpochNs_, "epoch",
-                                   static_cast<int64_t>(t));
-        tmEpochs_->add(1);
-
-        const Matrix &y = plant_.step(settings);
-
-        // What the hardware actually did: equals y unless a
-        // fault-injecting plant corrupted the sensor path.
-        const Matrix &true_out = plant_.lastTrueOutputs();
-        const Matrix &y_true = true_out.empty() ? y : true_out;
-
-        // Harden the loop against corrupt sensor epochs: a non-finite
-        // IPS or power sample is counted and skipped — the settings are
-        // held — instead of being propagated into the estimator.
-        const bool y_finite = std::isfinite(y[kOutputIps]) &&
-            std::isfinite(y[kOutputPower]);
-        if (!y_finite) {
-            if (nonfinite_skips == 0) {
-                warn("EpochDriver: non-finite sensor reading at epoch ",
-                     t, "; holding settings (further skips counted "
-                     "silently)");
-            }
-            ++nonfinite_skips;
-            tmNonfiniteSkips_->add(1);
-        }
-
-        obs.y = y;
-        obs.l2Mpki = plant_.lastL2Mpki();
-        obs.ipc = plant_.lastIpc();
-
-        // Battery/QoE target schedule.
-        if (qoe_) {
-            if (qoe_->consumeEpoch(plant_.lastEnergyJoules())) {
-                const Targets tg = qoe_->targets();
-                controller_.setReference(tg.ips, tg.power);
-            }
-        }
-
-        // Optimizer search management: the first invocation starts a
-        // search; afterwards only a phase change (or the optional
-        // periodic restart) triggers a new one (§V).
-        if (opt && y_finite) {
-            const bool phase_change =
-                config_.usePhaseDetector &&
-                phases.observe(obs.ipc, obs.l2Mpki);
-            const bool periodic = t == 0 ||
-                (config_.optimizerPeriodicRestart &&
-                 t % config_.optimizerPeriodEpochs == 0);
-            if (phase_change || (periodic && !opt->searching()))
-                opt->startSearch(y);
-            opt->observe(y);
-        }
-
-        if (y_finite) {
-            const KnobSettings previous = settings;
-            settings = controller_.update(obs);
-            if (!(settings == previous))
-                tmKnobMoves_->add(1);
-        }
-
-        // Tracking-error accounting against the *current* references,
-        // scored on the true outputs (a controller chasing corrupted
-        // readings must not be credited for tracking them).
-        double ref_ips = 0.0, ref_power = 0.0;
-        if (qoe_) {
-            ref_ips = qoe_->targets().ips;
-            ref_power = qoe_->targets().power;
-        } else {
-            std::tie(ref_ips, ref_power) = controller_.reference();
-        }
-        if (ref_ips > 0 && ref_power > 0) {
-            tmIpsErrBp_->record(
-                relErrorBasisPoints(y_true[kOutputIps], ref_ips));
-            tmPowerErrBp_->record(
-                relErrorBasisPoints(y_true[kOutputPower], ref_power));
-        }
-        if (t >= config_.errorSkipEpochs && ref_ips > 0 &&
-            ref_power > 0 && !config_.useOptimizer) {
-            err_ips += std::abs(y_true[kOutputIps] - ref_ips) / ref_ips;
-            err_power +=
-                std::abs(y_true[kOutputPower] - ref_power) / ref_power;
-            ++err_samples;
-        }
-
-        trace_.ips.push_back(y[kOutputIps]);
-        trace_.power.push_back(y[kOutputPower]);
-        trace_.trueIps.push_back(y_true[kOutputIps]);
-        trace_.truePower.push_back(y_true[kOutputPower]);
-        trace_.refIps.push_back(ref_ips);
-        trace_.refPower.push_back(ref_power);
-        trace_.freqLevel.push_back(settings.freqLevel);
-        trace_.cacheSetting.push_back(settings.cacheSetting);
-        trace_.robPartitions.push_back(settings.robPartitions);
-        trace_.tier.push_back(controller_.health().tier);
+        ++nonfiniteSkips_;
+        tmNonfiniteSkips_->add(1);
     }
 
+    obs_.y = y;
+    obs_.l2Mpki = plant_.lastL2Mpki();
+    obs_.ipc = plant_.lastIpc();
+
+    // Battery/QoE target schedule.
+    if (qoe_) {
+        if (qoe_->consumeEpoch(plant_.lastEnergyJoules())) {
+            const Targets tg = qoe_->targets();
+            controller_.setReference(tg.ips, tg.power);
+        }
+    }
+
+    // Optimizer search management: the first invocation starts a
+    // search; afterwards only a phase change (or the optional
+    // periodic restart) triggers a new one (§V).
+    if (opt_ && y_finite) {
+        const bool phase_change =
+            config_.usePhaseDetector &&
+            phases_->observe(obs_.ipc, obs_.l2Mpki);
+        const bool periodic = t == 0 ||
+            (config_.optimizerPeriodicRestart &&
+             t % config_.optimizerPeriodEpochs == 0);
+        if (phase_change || (periodic && !opt_->searching()))
+            opt_->startSearch(y);
+        opt_->observe(y);
+    }
+
+    if (y_finite) {
+        const KnobSettings previous = settings_;
+        settings_ = controller_.update(obs_);
+        if (!(settings_ == previous))
+            tmKnobMoves_->add(1);
+    }
+
+    // Tracking-error accounting against the *current* references,
+    // scored on the true outputs (a controller chasing corrupted
+    // readings must not be credited for tracking them).
+    double ref_ips = 0.0, ref_power = 0.0;
+    if (qoe_) {
+        ref_ips = qoe_->targets().ips;
+        ref_power = qoe_->targets().power;
+    } else {
+        std::tie(ref_ips, ref_power) = controller_.reference();
+    }
+    if (ref_ips > 0 && ref_power > 0) {
+        tmIpsErrBp_->record(
+            relErrorBasisPoints(y_true[kOutputIps], ref_ips));
+        tmPowerErrBp_->record(
+            relErrorBasisPoints(y_true[kOutputPower], ref_power));
+    }
+    if (t >= config_.errorSkipEpochs && ref_ips > 0 &&
+        ref_power > 0 && !config_.useOptimizer) {
+        errIps_ += std::abs(y_true[kOutputIps] - ref_ips) / ref_ips;
+        errPower_ +=
+            std::abs(y_true[kOutputPower] - ref_power) / ref_power;
+        ++errSamples_;
+    }
+
+    trace_.ips.push_back(y[kOutputIps]);
+    trace_.power.push_back(y[kOutputPower]);
+    trace_.trueIps.push_back(y_true[kOutputIps]);
+    trace_.truePower.push_back(y_true[kOutputPower]);
+    trace_.refIps.push_back(ref_ips);
+    trace_.refPower.push_back(ref_power);
+    trace_.freqLevel.push_back(settings_.freqLevel);
+    trace_.cacheSetting.push_back(settings_.cacheSetting);
+    trace_.robPartitions.push_back(settings_.robPartitions);
+    trace_.tier.push_back(controller_.health().tier);
+
+    lastTrueIps_ = y_true[kOutputIps];
+    lastTruePower_ = y_true[kOutputPower];
+    ++epoch_;
+}
+
+RunSummary
+EpochDriver::finish()
+{
     RunSummary s;
-    s.nonFiniteSkips = nonfinite_skips;
+    s.nonFiniteSkips = nonfiniteSkips_;
     s.health = controller_.health();
     trace_.health = s.health;
-    if (err_samples) {
-        s.avgIpsErrorPct = 100.0 * err_ips / static_cast<double>(err_samples);
+    if (errSamples_) {
+        s.avgIpsErrorPct =
+            100.0 * errIps_ / static_cast<double>(errSamples_);
         s.avgPowerErrorPct =
-            100.0 * err_power / static_cast<double>(err_samples);
+            100.0 * errPower_ / static_cast<double>(errSamples_);
     }
     s.steadyEpochFreq = steadyEpoch(trace_.freqLevel, 2);
     s.steadyEpochCache = steadyEpoch(trace_.cacheSetting, 1);
-    s.totalEnergyJ = plant_.totalEnergyJoules() - energy0;
-    s.totalTimeS = plant_.elapsedSeconds() - time0;
-    s.totalInstrB = plant_.totalInstructionsB() - instr0;
+    s.totalEnergyJ = plant_.totalEnergyJoules() - energy0_;
+    s.totalTimeS = plant_.elapsedSeconds() - time0_;
+    s.totalInstrB = plant_.totalInstructionsB() - instr0_;
+    opt_.reset();
+    phases_.reset();
+    runSpan_.reset();
     return s;
+}
+
+RunSummary
+EpochDriver::run(const KnobSettings &initial)
+{
+    begin(initial);
+    for (size_t t = 0; t < config_.epochs; ++t)
+        stepEpoch();
+    return finish();
 }
 
 } // namespace mimoarch

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/cancel.hpp"
@@ -162,8 +163,37 @@ class EpochDriver
     /** Run the configured number of epochs from @p initial settings. */
     RunSummary run(const KnobSettings &initial);
 
+    // ---- Stepwise API ----
+    //
+    // run() is exactly begin() + config.epochs x stepEpoch() + finish();
+    // the split exists so ChipInstance (src/chip) can interleave N
+    // drivers epoch-by-epoch — every core then executes the *same*
+    // statement chain as a standalone run, which is what makes the
+    // chip-vs-single-core equivalence tests hold bit-for-bit.
+
+    /** Reset run state, warm up the plant, take baselines. */
+    void begin(const KnobSettings &initial);
+
+    /** Advance one controlled epoch (throws CanceledError on cancel). */
+    void stepEpoch();
+
+    /** Close the run and return its summary. */
+    RunSummary finish();
+
+    /** Epochs stepped since begin(). */
+    size_t epochsDone() const { return epoch_; }
+
     /** Per-epoch trace (only filled when recordTrace). */
     const EpochTrace &trace() const { return trace_; }
+
+    Plant &plant() { return plant_; }
+    ArchController &controller() { return controller_; }
+    const DriverConfig &config() const { return config_; }
+
+    /** True (hardware-side) outputs of the last stepped epoch — the
+     *  chip arbiter's per-core demand sensors. */
+    double lastTrueIps() const { return lastTrueIps_; }
+    double lastTruePower() const { return lastTruePower_; }
 
   private:
     static long steadyEpoch(const std::vector<unsigned> &values,
@@ -174,6 +204,20 @@ class EpochDriver
     DriverConfig config_;
     QoeBatteryModel *qoe_;
     EpochTrace trace_;
+
+    // Run state between begin() and finish(). Promoted from run()
+    // locals; the arithmetic and its order are unchanged.
+    std::optional<telemetry::Span> runSpan_;
+    std::unique_ptr<Optimizer> opt_;
+    std::optional<PhaseDetector> phases_;
+    Observation obs_; //!< Hoisted so its y buffer is reused every epoch.
+    KnobSettings settings_{};
+    double energy0_ = 0.0, time0_ = 0.0, instr0_ = 0.0;
+    double errIps_ = 0.0, errPower_ = 0.0;
+    size_t errSamples_ = 0;
+    unsigned long nonfiniteSkips_ = 0;
+    size_t epoch_ = 0;
+    double lastTrueIps_ = 0.0, lastTruePower_ = 0.0;
 
     // Loop telemetry (see src/telemetry). Registered once at
     // construction; recording in the epoch loop is a few relaxed

@@ -60,6 +60,14 @@ class Plant
         return kNone;
     }
 
+    /**
+     * Chip-level L2 way partition (bit w = L2 way w). Default: no-op,
+     * for plants without a shared L2 (synthetic/test plants). SimPlant
+     * forwards to the processor; SurrogatePlant approximates by capping
+     * the cache knob to the partition's capacity.
+     */
+    virtual void setL2Partition(uint32_t /*way_mask*/) {}
+
     /** Auxiliary sensors from the last epoch (for heuristics/phases). */
     virtual double lastL2Mpki() const = 0;
     virtual double lastIpc() const = 0;
@@ -96,6 +104,12 @@ class SimPlant : public Plant
     const EpochOutputs &lastEpoch() const { return last_; }
 
     const Matrix &lastTrueOutputs() const override { return yOut_; }
+
+    void
+    setL2Partition(uint32_t way_mask) override
+    {
+        proc_.setL2PartitionMask(way_mask);
+    }
 
     double lastL2Mpki() const override { return last_.l2Mpki; }
     double lastIpc() const override { return last_.ipc; }

@@ -237,11 +237,30 @@ SurrogatePlant::SurrogatePlant(
     u_ = Matrix(knobs_.numInputs(), 1);
 }
 
+void
+SurrogatePlant::setL2Partition(uint32_t way_mask)
+{
+    if (way_mask == 0)
+        fatal("SurrogatePlant::setL2Partition needs >=1 way");
+    const uint32_t ways =
+        static_cast<uint32_t>(__builtin_popcount(way_mask));
+    // Largest setting whose L2 ways fit in the partition; setting 0
+    // (2 ways) is the floor so a 1-way partition still runs.
+    unsigned cap = 0;
+    for (unsigned i = 0; i < kCacheSizeSettings.size(); ++i)
+        if (kCacheSizeSettings[i].l2Ways <= ways)
+            cap = i;
+    cacheSettingCap_ = ways >= kCacheSizeSettings.back().l2Ways ? ~0u : cap;
+}
+
 const Matrix &
 SurrogatePlant::step(const KnobSettings &settings)
 {
-    knobs_.toVectorInto(u_, settings);
-    current_ = settings;
+    KnobSettings applied = settings;
+    if (applied.cacheSetting > cacheSettingCap_)
+        applied.cacheSetting = cacheSettingCap_;
+    knobs_.toVectorInto(u_, applied);
+    current_ = applied;
     const Matrix &y = dyn_.step(u_);
 
     // Auxiliary sensors from the calibrated per-app fits.

@@ -157,6 +157,15 @@ class SurrogatePlant : public Plant
     /** Parity with SimPlant::warmup: epochs at the current settings. */
     void warmup(size_t epochs);
 
+    /**
+     * Chip partitioning on the analytic tier is an approximation: the
+     * surrogate has no cache to mask, so the partition caps the
+     * cache-size knob at the largest setting whose L2 ways fit in the
+     * partition (documented in DESIGN.md §14). A full mask restores the
+     * unconstrained knob, bit-identical to an unpartitioned plant.
+     */
+    void setL2Partition(uint32_t way_mask) override;
+
     double lastL2Mpki() const override { return lastL2Mpki_; }
     double lastIpc() const override { return lastIpc_; }
     double lastEnergyJoules() const override { return lastEnergyJ_; }
@@ -173,6 +182,7 @@ class SurrogatePlant : public Plant
     SurrogateDynamics dyn_;
     KnobSettings current_{};
     Matrix u_; //!< I x 1 physical input buffer.
+    unsigned cacheSettingCap_ = ~0u; //!< Partition cap on the cache knob.
 
     double lastL2Mpki_ = 0.0;
     double lastIpc_ = 0.0;

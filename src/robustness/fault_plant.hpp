@@ -45,6 +45,12 @@ class FaultyPlant : public Plant
         return inner_.currentSettings();
     }
 
+    void
+    setL2Partition(uint32_t way_mask) override
+    {
+        inner_.setL2Partition(way_mask);
+    }
+
     double lastL2Mpki() const override { return inner_.lastL2Mpki(); }
     double lastIpc() const override { return inner_.lastIpc(); }
 

@@ -22,7 +22,9 @@ log2Exact(uint32_t v)
 } // namespace
 
 Cache::Cache(const CacheConfig &config)
-    : config_(config), enabledWays_(config.ways)
+    : config_(config), enabledWays_(config.ways),
+      wayMask_(config.ways >= 32 ? ~uint32_t{0}
+                                 : (uint32_t{1} << config.ways) - 1)
 {
     if (config_.ways == 0 || config_.lineBytes == 0)
         fatal("cache needs at least one way and a non-zero line size");
@@ -55,7 +57,12 @@ Cache::access(uint64_t addr, bool is_write)
     uint32_t victim = 0;
     uint32_t best_lru = UINT32_MAX;
     bool have_invalid = false;
-    for (uint32_t w = 0; w < enabledWays_; ++w) {
+    // Walking set bits low-to-high visits ways in ascending index
+    // order, so a prefix mask reproduces the dense [0, enabledWays_)
+    // scan decision-for-decision (same hit way, same victim).
+    for (uint32_t m = wayMask_; m != 0; m &= m - 1) {
+        const uint32_t w =
+            static_cast<uint32_t>(__builtin_ctz(m));
         Line &l = base[w];
         if (l.valid && l.tag == tag) {
             l.lru = lruClock_;
@@ -96,7 +103,9 @@ Cache::prefetch(uint64_t addr)
     uint32_t victim = 0;
     uint32_t best_lru = UINT32_MAX;
     bool have_invalid = false;
-    for (uint32_t w = 0; w < enabledWays_; ++w) {
+    for (uint32_t m = wayMask_; m != 0; m &= m - 1) {
+        const uint32_t w =
+            static_cast<uint32_t>(__builtin_ctz(m));
         Line &l = base[w];
         if (l.valid && l.tag == tag)
             return;
@@ -125,7 +134,9 @@ Cache::contains(uint64_t addr) const
 {
     const uint32_t set = setIndex(addr);
     const uint64_t tag = tagOf(addr);
-    for (uint32_t w = 0; w < enabledWays_; ++w) {
+    for (uint32_t m = wayMask_; m != 0; m &= m - 1) {
+        const uint32_t w =
+            static_cast<uint32_t>(__builtin_ctz(m));
         const Line &l = line(set, w);
         if (l.valid && l.tag == tag)
             return true;
@@ -138,11 +149,29 @@ Cache::setEnabledWays(uint32_t ways)
 {
     if (ways == 0 || ways > config_.ways)
         fatal("setEnabledWays(", ways, ") outside [1, ", config_.ways, "]");
+    return setEnabledWayMask(
+        ways >= 32 ? ~uint32_t{0} : (uint32_t{1} << ways) - 1);
+}
+
+uint64_t
+Cache::setEnabledWayMask(uint32_t mask)
+{
+    const uint32_t full = config_.ways >= 32
+        ? ~uint32_t{0}
+        : (uint32_t{1} << config_.ways) - 1;
+    if (mask == 0 || (mask & ~full) != 0)
+        fatal("setEnabledWayMask(", mask, ") needs >=1 way inside the ",
+              config_.ways, "-way geometry");
     uint64_t flushed_dirty = 0;
-    if (ways < enabledWays_) {
-        // Flush lines in the ways being disabled.
+    const uint32_t disabling = wayMask_ & ~mask;
+    if (disabling != 0) {
+        // Flush lines in the ways being disabled (ascending way order,
+        // matching the old dense [ways, enabledWays_) sweep for prefix
+        // masks).
         for (uint32_t set = 0; set < config_.sets(); ++set) {
-            for (uint32_t w = ways; w < enabledWays_; ++w) {
+            for (uint32_t m = disabling; m != 0; m &= m - 1) {
+                const uint32_t w =
+                    static_cast<uint32_t>(__builtin_ctz(m));
                 Line &l = line(set, w);
                 if (l.valid) {
                     ++stats_.gatingFlushes;
@@ -155,7 +184,8 @@ Cache::setEnabledWays(uint32_t ways)
             }
         }
     }
-    enabledWays_ = ways;
+    wayMask_ = mask;
+    enabledWays_ = static_cast<uint32_t>(__builtin_popcount(mask));
     return flushed_dirty;
 }
 

@@ -76,7 +76,19 @@ class Cache
      */
     uint64_t setEnabledWays(uint32_t ways);
 
+    /**
+     * Restrict lookups to the ways whose bit is set in @p mask (bit w =
+     * way w), flushing lines in ways being disabled. This is the
+     * chip-level partitioning primitive: a core confined to a way mask
+     * never observes lines outside it, so disjoint masks give strict
+     * isolation within one shared geometry. A prefix mask (low n bits)
+     * is bit-identical to setEnabledWays(n). @return dirty lines
+     * written back.
+     */
+    uint64_t setEnabledWayMask(uint32_t mask);
+
     uint32_t enabledWays() const { return enabledWays_; }
+    uint32_t enabledWayMask() const { return wayMask_; }
     uint32_t configuredWays() const { return config_.ways; }
 
     /** Effective capacity given the enabled ways. */
@@ -120,6 +132,7 @@ class Cache
 
     CacheConfig config_;
     uint32_t enabledWays_;
+    uint32_t wayMask_; //!< Bit w set = way w enabled; popcount == enabledWays_.
     uint32_t lruClock_ = 0;
     uint32_t lineShift_ = 0; //!< log2(lineBytes).
     uint32_t setMask_ = 0;   //!< sets() - 1.

@@ -5,7 +5,10 @@
 namespace mimoarch {
 
 MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyConfig &config)
-    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
+      l2PartitionMask_(config.l2.ways >= 32
+                           ? ~uint32_t{0}
+                           : (uint32_t{1} << config.l2.ways) - 1)
 {}
 
 uint32_t
@@ -71,6 +74,21 @@ MemoryHierarchy::prefetchInstrLine(uint64_t addr)
     l2_.prefetch(addr);
 }
 
+// The cache-size knob gates within the chip partition: take the lowest
+// min(setting.l2Ways, |partition|) set bits of the partition mask. With
+// the full-mask default this is the plain prefix mask the knob always
+// used, so single-core behavior is bit-identical.
+uint32_t
+MemoryHierarchy::effectiveL2Mask(unsigned setting) const
+{
+    uint32_t want = kCacheSizeSettings[setting].l2Ways;
+    uint32_t mask = 0;
+    for (uint32_t m = l2PartitionMask_; m != 0 && want != 0;
+         m &= m - 1, --want)
+        mask |= m & (~m + 1);
+    return mask;
+}
+
 uint64_t
 MemoryHierarchy::setCacheSizeSetting(unsigned setting)
 {
@@ -78,10 +96,23 @@ MemoryHierarchy::setCacheSizeSetting(unsigned setting)
         fatal("cache size setting ", setting, " out of range");
     const CacheSizeSetting &s = kCacheSizeSettings[setting];
     uint64_t dirty = 0;
-    dirty += l2_.setEnabledWays(s.l2Ways);
+    dirty += l2_.setEnabledWayMask(effectiveL2Mask(setting));
     dirty += l1d_.setEnabledWays(s.l1dWays);
     setting_ = setting;
     return dirty;
+}
+
+uint64_t
+MemoryHierarchy::setL2PartitionMask(uint32_t way_mask)
+{
+    const uint32_t full = config_.l2.ways >= 32
+        ? ~uint32_t{0}
+        : (uint32_t{1} << config_.l2.ways) - 1;
+    if (way_mask == 0 || (way_mask & ~full) != 0)
+        fatal("setL2PartitionMask(", way_mask, ") needs >=1 way inside ",
+              "the ", config_.l2.ways, "-way L2");
+    l2PartitionMask_ = way_mask;
+    return l2_.setEnabledWayMask(effectiveL2Mask(setting_));
 }
 
 double

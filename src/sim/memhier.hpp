@@ -79,6 +79,19 @@ class MemoryHierarchy
 
     unsigned cacheSizeSetting() const { return setting_; }
 
+    /**
+     * Confine this core's L2 to the ways in @p way_mask (chip-level
+     * partitioning; bit w = L2 way w). The cache-size knob then gates
+     * *within* the partition: the effective L2 mask is the lowest
+     * min(setting.l2Ways, popcount(way_mask)) set bits of @p way_mask.
+     * The full mask (default) reproduces the unpartitioned behavior
+     * bit-for-bit. L1s are private and unaffected. @return dirty lines
+     * written back while re-gating.
+     */
+    uint64_t setL2PartitionMask(uint32_t way_mask);
+
+    uint32_t l2PartitionMask() const { return l2PartitionMask_; }
+
     /** Effective (L1D + L2) capacity in KB for the controller's input. */
     double effectiveCacheKb() const;
 
@@ -94,12 +107,14 @@ class MemoryHierarchy
   private:
     uint32_t l2LatencyCycles(double freq_ghz) const;
     uint32_t memLatencyCycles(double freq_ghz) const;
+    uint32_t effectiveL2Mask(unsigned setting) const;
 
     MemoryHierarchyConfig config_;
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
     unsigned setting_ = 3; // full size
+    uint32_t l2PartitionMask_; //!< Chip partition; full mask = private L2.
 };
 
 } // namespace mimoarch

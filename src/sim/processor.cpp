@@ -44,6 +44,18 @@ Processor::setRobSize(unsigned entries)
     core_.setRobSize(entries);
 }
 
+void
+Processor::setL2PartitionMask(uint32_t way_mask)
+{
+    if (way_mask == mem_.l2PartitionMask())
+        return;
+    const uint64_t dirty = mem_.setL2PartitionMask(way_mask);
+    pendingStallUs_ += config_.cacheGateFixedUs +
+        static_cast<double>(dirty) / (dvfs_.freqGhz() * 1e3);
+    pendingExtraNj_ += static_cast<double>(dirty) *
+        config_.energy.writebackNj;
+}
+
 EpochOutputs
 Processor::runEpoch()
 {

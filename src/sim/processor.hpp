@@ -66,6 +66,15 @@ class Processor
     /** Active ROB entries (16..128, multiples of 16). */
     void setRobSize(unsigned entries);
 
+    /**
+     * Chip-level L2 way partition (bit w = L2 way w); the cache-size
+     * knob gates within it. Charged like a way-gating action: flushed
+     * dirty lines cost stall time and writeback energy.
+     */
+    void setL2PartitionMask(uint32_t way_mask);
+
+    uint32_t l2PartitionMask() const { return mem_.l2PartitionMask(); }
+
     unsigned frequencyLevel() const { return dvfs_.level(); }
     double frequencyGhz() const { return dvfs_.freqGhz(); }
     unsigned cacheSizeSetting() const { return mem_.cacheSizeSetting(); }

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Property/fuzz suite for the BudgetArbiter (the invariants its header
+ * promises). Thousands of random demand records — including NaN, Inf,
+ * negative and zero sensor readings — are thrown at allocate(), and
+ * every allocation must satisfy:
+ *
+ *   1. way totals: the per-core way counts sum exactly to l2Ways with
+ *      every core >= 1 way, and the way masks are disjoint, covering,
+ *      and consistent with the counts;
+ *   2. power totals: when the envelope is positive, per-core power
+ *      targets sum to <= the envelope (up to rounding slack);
+ *   3. purity: the same demands produce the bit-identical allocation
+ *      again, on the same instance and on a freshly built one.
+ *
+ * Plus the supervisor contract: a pinned core is never marked for
+ * re-targeting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "chip/arbiter.hpp"
+#include "chip/chip.hpp"
+#include "common/random.hpp"
+
+namespace mimoarch::chip {
+namespace {
+
+/** A plausible-or-hostile sensor reading: mostly sane positives,
+ *  sometimes zero, negative, NaN or Inf. */
+double
+fuzzValue(Rng &rng, double hi)
+{
+    const double roll = rng.uniform();
+    if (roll < 0.05)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (roll < 0.08)
+        return std::numeric_limits<double>::infinity();
+    if (roll < 0.12)
+        return -rng.uniform(0.0, hi);
+    if (roll < 0.17)
+        return 0.0;
+    return rng.uniform(0.0, hi);
+}
+
+std::vector<CoreDemand>
+fuzzDemands(Rng &rng, size_t n, uint32_t l2_ways)
+{
+    std::vector<CoreDemand> demands(n);
+    for (CoreDemand &d : demands) {
+        d.ips = fuzzValue(rng, 4.0);
+        d.power = fuzzValue(rng, 8.0);
+        d.l2Mpki = fuzzValue(rng, 40.0);
+        d.refIps = fuzzValue(rng, 4.0);
+        d.refPower = fuzzValue(rng, 4.0);
+        // Incumbent way counts: often nonsense (0, or not summing to
+        // l2Ways) so both the keep-incumbent and rebuild paths fuzz.
+        d.ways = static_cast<uint32_t>(rng.uniformInt(l2_ways + 2));
+        d.pinned = rng.bernoulli(0.25);
+    }
+    return demands;
+}
+
+bool
+sameAllocation(const std::vector<CoreAllocation> &a,
+               const std::vector<CoreAllocation> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        // Exact bit equality, doubles included: purity means *bit*
+        // purity, the property chip digests rely on.
+        if (a[i].ways != b[i].ways || a[i].wayMask != b[i].wayMask ||
+            a[i].retarget != b[i].retarget)
+            return false;
+        if (std::memcmp(&a[i].ipsTarget, &b[i].ipsTarget,
+                        sizeof(double)) != 0 ||
+            std::memcmp(&a[i].powerTarget, &b[i].powerTarget,
+                        sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+TEST(ArbiterInvariants, FuzzedDemandsAlwaysYieldValidPartitions)
+{
+    Rng rng(0xA2B17E5ull);
+    const uint32_t way_choices[] = {8, 12, 16};
+    for (int iter = 0; iter < 2000; ++iter) {
+        const uint32_t l2_ways =
+            way_choices[rng.uniformInt(3)];
+        const size_t n = 1 + rng.uniformInt(std::min<uint64_t>(
+                                 kMaxChipCores, l2_ways));
+        ArbiterConfig acfg;
+        acfg.l2Ways = l2_ways;
+        acfg.powerEnvelopeW =
+            rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.5, 40.0);
+        acfg.metricExponent = 1 + static_cast<unsigned>(rng.uniformInt(3));
+        const BudgetArbiter arbiter(acfg);
+
+        const std::vector<CoreDemand> demands =
+            fuzzDemands(rng, n, l2_ways);
+        const std::vector<CoreAllocation> alloc =
+            arbiter.allocate(demands);
+        ASSERT_EQ(alloc.size(), n);
+
+        // Invariant 1: exact way partition.
+        uint32_t sum = 0;
+        uint32_t mask_union = 0;
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_GE(alloc[i].ways, 1u) << "iter " << iter;
+            sum += alloc[i].ways;
+            EXPECT_EQ(static_cast<uint32_t>(
+                          __builtin_popcount(alloc[i].wayMask)),
+                      alloc[i].ways)
+                << "iter " << iter;
+            EXPECT_EQ(mask_union & alloc[i].wayMask, 0u)
+                << "overlapping way masks at iter " << iter;
+            mask_union |= alloc[i].wayMask;
+        }
+        EXPECT_EQ(sum, l2_ways) << "iter " << iter;
+        EXPECT_EQ(mask_union, (uint32_t{1} << l2_ways) - 1)
+            << "non-covering way masks at iter " << iter;
+
+        // Invariant 2: the power split respects the envelope, and
+        // every target is finite even under hostile inputs.
+        double power_sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_TRUE(std::isfinite(alloc[i].powerTarget));
+            EXPECT_TRUE(std::isfinite(alloc[i].ipsTarget));
+            EXPECT_GE(alloc[i].powerTarget, 0.0);
+            power_sum += alloc[i].powerTarget;
+        }
+        if (acfg.powerEnvelopeW > 0.0) {
+            EXPECT_LE(power_sum,
+                      acfg.powerEnvelopeW * (1.0 + 1e-9))
+                << "iter " << iter;
+        }
+
+        // Supervisor contract: pinned cores are never re-targeted.
+        for (size_t i = 0; i < n; ++i) {
+            if (demands[i].pinned) {
+                EXPECT_FALSE(alloc[i].retarget) << "iter " << iter;
+            }
+        }
+
+        // Invariant 3: purity. Same instance again, and a fresh one.
+        EXPECT_TRUE(sameAllocation(alloc, arbiter.allocate(demands)))
+            << "same-instance repeat diverged at iter " << iter;
+        const BudgetArbiter fresh(acfg);
+        EXPECT_TRUE(sameAllocation(alloc, fresh.allocate(demands)))
+            << "fresh-instance repeat diverged at iter " << iter;
+    }
+}
+
+TEST(ArbiterInvariants, SignalFreeDemandsSplitEqually)
+{
+    ArbiterConfig acfg;
+    acfg.l2Ways = 8;
+    acfg.powerEnvelopeW = 0.0;
+    const BudgetArbiter arbiter(acfg);
+    const std::vector<CoreDemand> flat(4); // all-zero demands
+    const std::vector<CoreAllocation> alloc = arbiter.allocate(flat);
+    for (size_t i = 0; i < alloc.size(); ++i) {
+        EXPECT_EQ(alloc[i].ways, 2u);
+        EXPECT_EQ(alloc[i].wayMask, 0x3u << (2 * i));
+    }
+}
+
+TEST(ArbiterInvariants, TieFreeDemandsAreCorePermutationEquivariant)
+{
+    // With distinct memory-boundedness weights (no apportionment ties)
+    // and invalid incumbents (so scoring is independent of the current
+    // split), relabeling the cores must relabel the way counts and
+    // power targets the same way.
+    ArbiterConfig acfg;
+    acfg.l2Ways = 8;
+    acfg.powerEnvelopeW = 5.0;
+    const BudgetArbiter arbiter(acfg);
+
+    std::vector<CoreDemand> base(4);
+    const double mpki[] = {0.5, 3.0, 9.0, 20.0};
+    const double ips[] = {2.1, 1.4, 0.9, 0.6};
+    for (size_t i = 0; i < 4; ++i) {
+        base[i].ips = ips[i];
+        base[i].power = 2.0;
+        base[i].l2Mpki = mpki[i];
+        base[i].refIps = ips[i];
+        base[i].refPower = 2.0;
+        base[i].ways = 0; // invalid incumbent on purpose
+    }
+    const std::vector<CoreAllocation> ref = arbiter.allocate(base);
+
+    const size_t perm[] = {2, 0, 3, 1}; // permuted[i] = base[perm[i]]
+    std::vector<CoreDemand> permuted(4);
+    for (size_t i = 0; i < 4; ++i)
+        permuted[i] = base[perm[i]];
+    const std::vector<CoreAllocation> got = arbiter.allocate(permuted);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(got[i].ways, ref[perm[i]].ways) << "core " << i;
+        EXPECT_EQ(got[i].powerTarget, ref[perm[i]].powerTarget);
+        EXPECT_EQ(got[i].ipsTarget, ref[perm[i]].ipsTarget);
+    }
+}
+
+TEST(ArbiterInvariants, ShortEnvelopeScalesActiveCoresDown)
+{
+    ArbiterConfig acfg;
+    acfg.l2Ways = 8;
+    acfg.powerEnvelopeW = 3.0; // half of the 2-core nominal demand
+    const BudgetArbiter arbiter(acfg);
+    std::vector<CoreDemand> demands(2);
+    for (CoreDemand &d : demands) {
+        d.ips = d.refIps = 2.0;
+        d.power = d.refPower = 3.0;
+        d.ways = 4;
+    }
+    const std::vector<CoreAllocation> alloc = arbiter.allocate(demands);
+    for (const CoreAllocation &a : alloc) {
+        EXPECT_TRUE(a.retarget);
+        EXPECT_DOUBLE_EQ(a.powerTarget, 1.5); // scale = 0.5
+        EXPECT_DOUBLE_EQ(a.ipsTarget, 2.0 * std::sqrt(0.5));
+    }
+}
+
+TEST(ArbiterInvariants, PinnedDrawIsReservedAndSurplusRedistributed)
+{
+    ArbiterConfig acfg;
+    acfg.l2Ways = 8;
+    acfg.powerEnvelopeW = 4.0;
+    const BudgetArbiter arbiter(acfg);
+    std::vector<CoreDemand> demands(2);
+    demands[0].ips = 0.8;
+    demands[0].power = 1.0; // measured draw of the pinned core
+    demands[0].refIps = 2.0;
+    demands[0].refPower = 3.0;
+    demands[0].pinned = true;
+    demands[1].ips = demands[1].refIps = 2.0;
+    demands[1].power = demands[1].refPower = 2.5;
+    const std::vector<CoreAllocation> alloc = arbiter.allocate(demands);
+    // The pin reserves the *measured* 1.0 W, not the 3.0 W reference;
+    // the active core then gets its full want from the 3.0 W surplus.
+    EXPECT_FALSE(alloc[0].retarget);
+    EXPECT_DOUBLE_EQ(alloc[0].powerTarget, 1.0);
+    EXPECT_TRUE(alloc[1].retarget);
+    EXPECT_DOUBLE_EQ(alloc[1].powerTarget, 2.5);
+}
+
+} // namespace
+} // namespace mimoarch::chip
